@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+REFS ?= 120000
+
+.PHONY: install test bench replay examples clean-traces all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+replay:
+	$(PY) examples/replay_paper.py --refs $(REFS) --out results_full.md
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/application_tuning.py 30000
+	$(PY) examples/smt_cache_design.py
+	$(PY) examples/custom_workload.py
+	$(PY) examples/instruction_placement.py
+
+clean-traces:
+	rm -rf .trace_cache
+
+all: test bench replay

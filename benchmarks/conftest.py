@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Benches regenerate the paper's figures at a reduced-but-representative trace
+length so a full ``pytest benchmarks/ --benchmark-only`` run completes in a
+few minutes.  Traces are cached on disk under ``.trace_cache`` so the
+generation cost is paid once; the measured time is the simulation/analysis.
+
+Set ``REPRO_BENCH_REFS`` to change the trace length (e.g. 120000 for the
+paper-default length used in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import PaperConfig
+
+BENCH_REFS = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
+
+
+@pytest.fixture(scope="session")
+def config() -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=BENCH_REFS,
+        trace_cache_dir=Path(__file__).resolve().parent.parent / ".trace_cache",
+    )
+
+
+def run_once(benchmark, fn):
+    """Run a whole-figure regeneration exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

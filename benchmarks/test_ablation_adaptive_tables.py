@@ -1,0 +1,35 @@
+"""Ablation: adaptive-cache SHT/OUT table sizing.
+
+The paper fixes SHT = 3/8 and OUT = 4/16 of the sets "based on empirical
+results" (Peir et al.); this sweep shows the sensitivity around that point.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.core.caches import AdaptiveGroupAssociativeCache, DirectMappedCache
+from repro.core.simulator import simulate
+from repro.experiments.runner import workload_trace
+
+
+@pytest.mark.parametrize(
+    "sht_frac,out_frac",
+    [(1 / 8, 1 / 8), (3 / 8, 1 / 4), (1 / 2, 1 / 2), (1.0, 1.0)],
+)
+def test_table_sizing(benchmark, config, sht_frac, out_frac):
+    trace = workload_trace("fft", config)
+    g = config.geometry
+
+    def run():
+        cache = AdaptiveGroupAssociativeCache(
+            g, sht_fraction=sht_frac, out_fraction=out_frac
+        )
+        return simulate(cache, trace)
+
+    result = run_once(benchmark, run)
+    dm = simulate(DirectMappedCache(g), trace)
+    reduction = 100.0 * (dm.misses - result.misses) / dm.misses
+    print(f"\nSHT={sht_frac:.3f} OUT={out_frac:.3f}: reduction {reduction:+.1f}%")
+    assert result.misses <= dm.misses

@@ -1,0 +1,56 @@
+"""Ablation: SMT interleaving discipline.
+
+The M-Sim substitution argument (DESIGN.md §2) claims the Figure-13 effect
+is robust to *how* the threads' references interleave.  This bench runs one
+conflict-heavy mix under round-robin, randomised and quantum-burst
+interleavings and shows the per-thread-indexing gain survives all three.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.indexing import ModuloIndexing, OddMultiplierIndexing
+from repro.core.selector import ThreadSchemeTable
+from repro.multithread import SMTSharedCache, simulate_smt
+from repro.trace import block_interleave, random_interleave, round_robin
+from repro.workloads import get_workload
+
+
+def test_interleaving_robustness(benchmark, config):
+    g = config.geometry
+    per_thread = config.ref_limit // 2
+    t0 = get_workload("fft").generate(seed=config.seed, ref_limit=per_thread)
+    t1 = get_workload("susan").generate(seed=config.seed + 1, ref_limit=per_thread)
+
+    disciplines = {
+        "round_robin": lambda: round_robin([t0, t1]),
+        "random": lambda: random_interleave([t0, t1], seed=3),
+        "quantum64": lambda: block_interleave([t0, t1], quantum=64),
+        "quantum1024": lambda: block_interleave([t0, t1], quantum=1024),
+    }
+
+    def run():
+        rows = {}
+        for name, make in disciplines.items():
+            mix = make()
+            base = simulate_smt(
+                SMTSharedCache(g, ThreadSchemeTable([ModuloIndexing(g)] * 2)), mix
+            )
+            multi = simulate_smt(
+                SMTSharedCache(
+                    g,
+                    ThreadSchemeTable(
+                        [OddMultiplierIndexing(g, 9), OddMultiplierIndexing(g, 31)]
+                    ),
+                ),
+                mix,
+            )
+            rows[name] = 100.0 * (base.misses - multi.misses) / max(base.misses, 1)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    for name, reduction in rows.items():
+        print(f"{name:12s} miss reduction {reduction:+.1f}%")
+        assert reduction > 10.0, f"{name}: per-thread indexing gain vanished"

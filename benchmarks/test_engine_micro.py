@@ -1,0 +1,60 @@
+"""Engine micro-benchmarks: throughput of the two simulation engines and of
+every indexing scheme's vectorised path.
+
+These are the repository's performance-regression canaries: the vectorised
+direct-mapped path should sustain millions of references per second and stay
+well over an order of magnitude faster than the sequential engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY
+from repro.core.caches import DirectMappedCache
+from repro.core.indexing import (
+    GivargisIndexing,
+    ModuloIndexing,
+    OddMultiplierIndexing,
+    PrimeModuloIndexing,
+    XorIndexing,
+)
+from repro.core.simulator import simulate, simulate_indexing
+from repro.trace import zipf_trace
+
+G = PAPER_L1_GEOMETRY
+TRACE = zipf_trace(200_000, seed=17)
+
+
+def test_vectorised_engine_throughput(benchmark):
+    scheme = ModuloIndexing(G)
+    result = benchmark(lambda: simulate_indexing(scheme, TRACE, G))
+    assert result.accesses == len(TRACE)
+
+
+def test_sequential_engine_throughput(benchmark):
+    short = TRACE[:20_000]
+
+    def run():
+        return simulate(DirectMappedCache(G), short)
+
+    assert benchmark(run).accesses == 20_000
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [ModuloIndexing, XorIndexing, PrimeModuloIndexing,
+     lambda g: OddMultiplierIndexing(g, 31)],
+    ids=["modulo", "xor", "prime_modulo", "odd_multiplier"],
+)
+def test_scheme_mapping_throughput(benchmark, scheme_factory):
+    scheme = scheme_factory(G)
+    idx = benchmark(lambda: scheme.indices_of(TRACE.addresses))
+    assert idx.size == len(TRACE)
+
+
+def test_givargis_training_cost(benchmark):
+    def run():
+        return GivargisIndexing(G).fit(TRACE.addresses)
+
+    assert benchmark(run).fitted

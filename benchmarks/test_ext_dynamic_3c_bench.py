@@ -1,0 +1,28 @@
+"""Benches for the 3C-breakdown and dynamic-switching extensions."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_three_c(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-3c", config))
+    print()
+    print(result)
+    # fft must be conflict-dominated; fully-streaming workloads cold/capacity.
+    assert result.rows["fft"]["conflict%"] > 60.0
+    assert result.rows["libquantum"]["conflict%"] < 20.0
+    for bench, row in result.rows.items():
+        total = row["cold%"] + row["capacity%"] + row["conflict%"]
+        assert abs(total - 100.0) < 1e-6, bench
+
+
+def test_ext_dynamic(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-dynamic", config))
+    print()
+    print(result)
+    avg = result.rows["Average"]
+    assert avg["dynamic"] > 0.0
+    assert avg["dynamic"] >= min(avg["static_xor"], avg["static_odd"]) - 5.0

@@ -1,0 +1,20 @@
+"""Bench for the HPC-suite extension experiment."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_hpc(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-hpc", config))
+    print()
+    print(result)
+    # The structured-array pathologies respond strongly to hashing...
+    assert result.rows["stream"]["XOR"] > 50.0
+    assert result.rows["transpose"]["Prime_Modulo"] > 30.0
+    assert result.rows["jacobi"]["Odd_Multiplier"] > 30.0
+    # ...while the random-scatter controls stay flat.
+    for col in ("XOR", "Odd_Multiplier", "Prime_Modulo"):
+        assert abs(result.rows["histogram"][col]) < 10.0

@@ -1,0 +1,18 @@
+"""Bench for the instruction-cache placement extension."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_icache(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-icache", config))
+    print()
+    print(result)
+    avg = result.rows["Average"]
+    # Software placement recovers substantial I-cache conflicts...
+    assert avg["Placement"] > 20.0
+    # ...while address hashing barely moves contiguous code (see note).
+    assert abs(avg["XOR"]) < 10.0

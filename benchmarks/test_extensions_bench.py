@@ -1,0 +1,31 @@
+"""Benches for the extension experiments (DESIGN.md §6)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_bounds(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-bounds", config))
+    print()
+    print(result)
+    avg = result.rows["Average"]
+    assert avg["Belady"] >= avg["FullAssoc"] - 1e-9
+    assert avg["Belady"] >= max(avg["Adaptive"], avg["B_Cache"], avg["ColAssoc"]) - 1e-9
+
+
+def test_ext_patel(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-patel", config))
+    print()
+    print(result)
+    assert result.rows["Average"]["Patel_train"] >= result.rows["Average"]["XOR"] - 10.0
+
+
+def test_ext_hybrid(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("ext-hybrid", config))
+    print()
+    print(result)
+    # fft is fixed by every hybrid (the aliasing-array pathology).
+    assert min(result.rows["fft"].values()) > 50.0

@@ -1,0 +1,16 @@
+"""Figure 1 bench: per-set access non-uniformity of FFT."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_nonuniformity(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig1", config))
+    print()
+    print(result)
+    # Shape: majority of sets under-utilised, hot minority, heavy tail.
+    assert result.value("sets_below_half_avg_%", "value") > 50.0
+    assert result.value("kurtosis", "value") > 3.0

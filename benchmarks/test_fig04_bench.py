@@ -1,0 +1,21 @@
+"""Figure 4 bench: indexing schemes vs conventional, 11 MiBench workloads."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import render_bars, run_experiment
+from repro.workloads.mibench import MIBENCH_ORDER
+
+
+def test_fig04_indexing_missrate(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig4", config))
+    print()
+    print(result)
+    print(render_bars(result, "Odd_Multiplier"))
+    # Shape: mixed signs, no universal winner.
+    signs = {col: [result.rows[b][col] for b in MIBENCH_ORDER] for col in result.columns}
+    assert any(any(v < 0 for v in vals) for vals in signs.values())
+    assert any(any(v > 10 for v in vals) for vals in signs.values())
+    # fft benefits massively from every hashing scheme (aliasing arrays).
+    assert min(result.rows["fft"].values()) > 30.0

@@ -1,0 +1,20 @@
+"""Figure 6 bench: programmable associativity miss-rate reductions."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.workloads.mibench import MIBENCH_ORDER
+
+
+def test_fig06_progassoc_missrate(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig6", config))
+    print()
+    print(result)
+    values = [v for b in MIBENCH_ORDER for v in result.rows[b].values()]
+    # Shape: (nearly) all non-negative; B-cache posts the smallest average.
+    assert sum(1 for v in values if v < -5.0) <= 2
+    averages = result.rows["Average"]
+    assert averages["B_Cache"] <= averages["Adaptive_Cache"]
+    assert averages["B_Cache"] <= averages["Column_associative"]

@@ -1,0 +1,17 @@
+"""Figure 7 bench: AMAT reductions via the paper's Eqs. (8)/(9)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig07_progassoc_amat(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig7", config))
+    print()
+    print(result)
+    averages = result.rows["Average"]
+    # Shape: AMAT improves on average for every scheme; fft dominates.
+    assert all(v > 0 for v in averages.values())
+    assert result.rows["fft"]["Column_associative"] > 50.0

@@ -1,0 +1,18 @@
+"""Figure 8 bench: indexed column-associative caches on SPEC-like workloads."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.workloads.spec import SPEC_ORDER
+
+
+def test_fig08_colassoc_indexing(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig8", config))
+    print()
+    print(result)
+    values = [v for b in SPEC_ORDER for v in result.rows[b].values()]
+    # Shape: modest swings in both directions (paper range roughly ±30%).
+    assert any(v < 0 for v in values)
+    assert all(abs(v) < 60 for v in values)

@@ -1,0 +1,25 @@
+"""Figures 9/10 bench: kurtosis and skewness of misses, indexing schemes."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_indexing_kurtosis(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig9", config))
+    print()
+    print(result)
+    values = [v for label, row in result.rows.items() if label != "Average" for v in row.values()]
+    # Shape: mixed — some schemes sharply increase miss non-uniformity.
+    assert any(v > 0 for v in values)
+    assert any(v < 0 for v in values)
+
+
+def test_fig10_indexing_skewness(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig10", config))
+    print()
+    print(result)
+    values = [v for label, row in result.rows.items() if label != "Average" for v in row.values()]
+    assert any(v != 0 for v in values)

@@ -1,0 +1,25 @@
+"""Figures 11/12 bench: programmable associativity uniformity of misses."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.workloads.mibench import MIBENCH_ORDER
+
+
+def test_fig11_progassoc_kurtosis(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig11", config))
+    print()
+    print(result)
+    # Shape: the adaptive cache drives kurtosis down for most benchmarks.
+    adaptives = [result.rows[b]["Adaptive_Cache"] for b in MIBENCH_ORDER]
+    assert sum(1 for v in adaptives if v <= 0) > len(adaptives) / 2
+
+
+def test_fig12_progassoc_skewness(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig12", config))
+    print()
+    print(result)
+    adaptives = [result.rows[b]["Adaptive_Cache"] for b in MIBENCH_ORDER]
+    assert sum(1 for v in adaptives if v <= 0) > len(adaptives) / 2

@@ -1,0 +1,18 @@
+"""Figure 13 bench: per-thread indexing in an SMT shared L1."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_smt_indexing(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig13", config))
+    print()
+    print(result)
+    # Shape: substantial average reduction; the conflict-heavy MiBench
+    # mixes gain strongly.
+    assert result.value("Average", "reduction") > 10.0
+    assert result.value("fft_susan", "reduction") > 30.0
+    assert result.value("bitcount_adpcm", "reduction") > 30.0

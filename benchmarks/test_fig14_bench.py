@@ -1,0 +1,17 @@
+"""Figure 14 bench: partitioned adaptive cache AMAT for SMT mixes."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig14_partitioned_amat(benchmark, config):
+    result = run_once(benchmark, lambda: run_experiment("fig14", config))
+    print()
+    print(result)
+    improvements = result.column("improvement")
+    # Shape: positive on average, peak in the paper's ~60% territory.
+    assert result.value("Average", "improvement") > 5.0
+    assert max(improvements.values()) > 40.0

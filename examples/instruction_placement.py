@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Instruction-cache conflicts: hardware hashing vs software placement.
+
+The paper's introduction reviews Liang & Mitra's procedure placement as the
+software-side answer to cache conflicts.  This example builds a synthetic
+program (Zipf-hot procedures, phased call behaviour), shows its I-cache
+profile under the paper's 32 KiB direct-mapped geometry, and compares:
+
+* address-hashing schemes (the paper's hardware toolbox) — which barely
+  help, because procedure bodies are contiguous and XOR-by-a-constant
+  nearly preserves contiguous ranges' set intersections; and
+* IBP-style greedy displacement placement — which removes the conflicts at
+  their source.
+
+Run:  python examples/instruction_placement.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PAPER_L1_GEOMETRY, simulate_indexing
+from repro.core.indexing import ModuloIndexing, PrimeModuloIndexing, XorIndexing
+from repro.experiments.report import sparkline
+from repro.icache import (
+    CallProfile,
+    generate_itrace,
+    optimize_placement,
+    weighted_overlap_cost,
+)
+from repro.experiments.ext_icache import build_program
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    g = PAPER_L1_GEOMETRY
+    layout, calls, profile = build_program(seed)
+    trace = generate_itrace(layout, calls, line_bytes=g.line_bytes, loop_iterations=2)
+    print(f"Synthetic program: {len(layout.procedures)} procedures, "
+          f"{len(calls)} calls, {len(trace)} instruction fetches")
+    print(f"I-cache: {g.describe()}\n")
+
+    base = simulate_indexing(ModuloIndexing(g), trace, g)
+    print(f"natural layout / modulo:  miss rate {base.miss_rate:.4f}")
+    print(f"  per-set I-fetches: {sparkline(base.slot_accesses)}")
+
+    for name, scheme in (("xor", XorIndexing(g)), ("prime_modulo", PrimeModuloIndexing(g))):
+        res = simulate_indexing(scheme, trace, g)
+        delta = 100.0 * (base.misses - res.misses) / max(base.misses, 1)
+        print(f"natural layout / {name:13s} miss rate {res.miss_rate:.4f} ({delta:+.1f}%)")
+
+    print("\nrunning greedy displacement placement (Liang & Mitra style)...")
+    optimised, cost_before, cost_after = optimize_placement(layout, profile, g)
+    print(f"  weighted set-overlap cost: {cost_before:.0f} -> {cost_after:.0f}")
+    print(f"  text segment grew {layout.total_span()} -> {optimised.total_span()} bytes "
+          f"(displacement gaps)")
+    opt_trace = generate_itrace(optimised, calls, line_bytes=g.line_bytes, loop_iterations=2)
+    opt = simulate_indexing(ModuloIndexing(g), opt_trace, g)
+    delta = 100.0 * (base.misses - opt.misses) / max(base.misses, 1)
+    print(f"optimised layout / modulo: miss rate {opt.miss_rate:.4f} ({delta:+.1f}%)")
+    print(f"  per-set I-fetches: {sparkline(opt.slot_accesses)}")
+    print(
+        "\nTakeaway: contiguous code defeats index hashing; placement attacks"
+        "\nthe conflicts at their source — which is why the paper cites [16]"
+        "\nas a *software* companion to its hardware techniques."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

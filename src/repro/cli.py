@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+::
+
+    repro-cache list                      # workloads, schemes, experiments
+    repro-cache run fig4 [--refs N] [--seed S] [--scale X] [--bars COL]
+    repro-cache run all --out EXPERIMENTS.md
+    repro-cache trace fft --refs 100000 --out fft.npz [--format din]
+    repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from .core.address import PAPER_L1_GEOMETRY
+from .core.indexing import TrainableIndexingScheme, available_schemes, make_scheme
+from .core.simulator import simulate_indexing
+from .experiments import (
+    PaperConfig,
+    available_experiments,
+    render_bars,
+    run_experiment,
+)
+from .trace.io import save_din, save_npz
+from .workloads import available_workloads, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Reproduction of 'Evaluation of Techniques to Improve Cache "
+        "Access Uniformities' (ICPP 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, indexing schemes and experiments")
+
+    run = sub.add_parser("run", help="run one experiment (fig1..fig14) or 'all'")
+    run.add_argument("experiment", help="experiment id, e.g. fig4, or 'all'")
+    run.add_argument("--refs", type=int, default=None, help="trace length per workload")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--scale", type=float, default=None, help="workload problem-size scale")
+    run.add_argument("--bars", default=None, help="also render this column as a bar chart")
+    run.add_argument("--out", type=Path, default=None, help="append markdown to this file")
+
+    trace = sub.add_parser("trace", help="generate and save a workload trace")
+    trace.add_argument("workload")
+    trace.add_argument("--refs", type=int, default=100_000)
+    trace.add_argument("--seed", type=int, default=2011)
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.add_argument("--out", type=Path, required=True)
+    trace.add_argument("--format", choices=("npz", "din"), default="npz")
+
+    sweep = sub.add_parser("sweep", help="miss rates of schemes over one workload")
+    sweep.add_argument("--workload", required=True)
+    sweep.add_argument("--schemes", default="modulo,xor,odd_multiplier,prime_modulo")
+    sweep.add_argument("--refs", type=int, default=100_000)
+    sweep.add_argument("--seed", type=int, default=2011)
+
+    uni = sub.add_parser(
+        "uniformity", help="per-set access/miss profile of a workload under a scheme"
+    )
+    uni.add_argument("--workload", required=True)
+    uni.add_argument("--scheme", default="modulo")
+    uni.add_argument("--refs", type=int, default=100_000)
+    uni.add_argument("--seed", type=int, default=2011)
+    return parser
+
+
+def _config_from(args) -> PaperConfig:
+    cfg = PaperConfig()
+    updates = {}
+    if args.refs is not None:
+        updates["ref_limit"] = args.refs
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    if getattr(args, "scale", None) is not None:
+        updates["workload_scale"] = args.scale
+    return replace(cfg, **updates) if updates else cfg
+
+
+def _cmd_list() -> int:
+    print("Workloads (mibench):", ", ".join(available_workloads("mibench")))
+    print("Workloads (spec):   ", ", ".join(available_workloads("spec")))
+    print("Indexing schemes:   ", ", ".join(available_schemes()))
+    print("Experiments:        ", ", ".join(available_experiments()))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    cfg = _config_from(args)
+    ids = available_experiments() if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        result = run_experiment(eid, cfg)
+        print(result)
+        print()
+        if args.bars and args.bars in result.columns:
+            print(render_bars(result, args.bars))
+            print()
+        if args.out:
+            with args.out.open("a") as fh:
+                fh.write(result.to_markdown() + "\n")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = get_workload(args.workload).generate(
+        seed=args.seed, ref_limit=args.refs, scale=args.scale
+    )
+    if args.format == "npz":
+        path = save_npz(trace, args.out)
+    else:
+        path = save_din(trace, args.out)
+    print(f"wrote {len(trace)} references to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
+    geometry = PAPER_L1_GEOMETRY
+    print(f"{args.workload}: {len(trace)} refs, geometry {geometry.describe()}")
+    for name in args.schemes.split(","):
+        scheme = make_scheme(name.strip(), geometry)
+        if isinstance(scheme, TrainableIndexingScheme):
+            scheme.fit(trace.addresses)
+        res = simulate_indexing(scheme, trace, geometry)
+        print(f"  {scheme.name:16s} miss_rate={res.miss_rate:.4f} misses={res.misses}")
+    return 0
+
+
+def _cmd_uniformity(args) -> int:
+    from .core.uniformity import uniformity_report, zhang_classification
+    from .experiments.report import sparkline
+
+    trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
+    geometry = PAPER_L1_GEOMETRY
+    scheme = make_scheme(args.scheme, geometry)
+    if isinstance(scheme, TrainableIndexingScheme):
+        scheme.fit(trace.addresses)
+    res = simulate_indexing(scheme, trace, geometry)
+    print(f"{args.workload} under {scheme.name}: miss rate {res.miss_rate:.4f}")
+    print(f"accesses/set  {sparkline(res.slot_accesses)}")
+    print(f"misses/set    {sparkline(res.slot_misses)}")
+    rep = uniformity_report(res.slot_accesses)
+    zh = zhang_classification(res.slot_accesses, res.slot_hits, res.slot_misses)
+    print(
+        f"accesses: {rep.below_half_pct:.1f}% of sets < half avg, "
+        f"{rep.above_double_pct:.1f}% > 2x avg, skew {rep.skewness:.2f}, "
+        f"kurtosis {rep.kurtosis:.2f}, gini {rep.gini:.2f}"
+    )
+    print(f"Zhang classes: FHS {zh['FHS%']:.1f}%  FMS {zh['FMS%']:.1f}%  LAS {zh['LAS%']:.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "uniformity":
+        return _cmd_uniformity(args)
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

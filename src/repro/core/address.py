@@ -1,0 +1,178 @@
+"""Address decomposition and cache geometry.
+
+Every indexing scheme and cache model in this package consumes memory
+addresses through a :class:`CacheGeometry`, which fixes the classic
+``tag | index | byte-offset`` decomposition used by the paper (its Figure 2):
+
+* an address space of ``2**address_bits`` bytes,
+* a cache of ``2**n`` lines of ``2**b`` bytes grouped into sets of ``k``
+  ways, giving ``m = n - log2(k)`` index bits.
+
+All helpers come in scalar *and* vectorised (NumPy) flavours: the vectorised
+forms operate on ``uint64`` arrays and are the fast path used by the
+trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CacheGeometry",
+    "is_power_of_two",
+    "ilog2",
+    "extract_bits",
+    "gather_bits",
+    "gather_bits_vec",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two; raises ValueError otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def extract_bits(value: int, low: int, count: int) -> int:
+    """Extract ``count`` bits of ``value`` starting at bit ``low``."""
+    if count <= 0:
+        return 0
+    return (value >> low) & ((1 << count) - 1)
+
+
+def gather_bits(value: int, positions: tuple[int, ...]) -> int:
+    """Pack the bits of ``value`` at ``positions`` into an integer.
+
+    ``positions[0]`` becomes the least-significant bit of the result.  Used by
+    the Givargis and Patel bit-selection indexing schemes, where the index is
+    the concatenation of arbitrarily chosen address bits.
+    """
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((value >> pos) & 1) << i
+    return out
+
+
+def gather_bits_vec(values: np.ndarray, positions: tuple[int, ...]) -> np.ndarray:
+    """Vectorised :func:`gather_bits` over a ``uint64`` array."""
+    values = np.asarray(values, dtype=np.uint64)
+    out = np.zeros_like(values)
+    for i, pos in enumerate(positions):
+        out |= ((values >> np.uint64(pos)) & np.uint64(1)) << np.uint64(i)
+    return out
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total data capacity; must be a power of two.
+    line_bytes:
+        Bytes per cache line (block); power of two.
+    ways:
+        Set associativity ``k``; power of two (1 = direct mapped).
+    address_bits:
+        Width of the modelled (virtual) address, default 32 as in the paper's
+        Alpha-compiled binaries truncated to the simulated address space.
+
+    Derived attributes cover every quantity the paper's Section 1.1 defines:
+    ``num_lines`` (2^n), ``num_sets`` (2^m), ``offset_bits`` (b),
+    ``index_bits`` (m) and ``tag_bits`` (N - m - b).
+    """
+
+    capacity_bytes: int
+    line_bytes: int
+    ways: int = 1
+    address_bits: int = 32
+
+    num_lines: int = field(init=False)
+    num_sets: int = field(init=False)
+    offset_bits: int = field(init=False)
+    index_bits: int = field(init=False)
+    tag_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("capacity_bytes", "line_bytes", "ways"):
+            if not is_power_of_two(getattr(self, name)):
+                raise ValueError(f"{name} must be a power of two, got {getattr(self, name)}")
+        if self.line_bytes > self.capacity_bytes:
+            raise ValueError("line_bytes exceeds capacity_bytes")
+        num_lines = self.capacity_bytes // self.line_bytes
+        if self.ways > num_lines:
+            raise ValueError("associativity exceeds the number of lines")
+        object.__setattr__(self, "num_lines", num_lines)
+        object.__setattr__(self, "num_sets", num_lines // self.ways)
+        object.__setattr__(self, "offset_bits", ilog2(self.line_bytes))
+        object.__setattr__(self, "index_bits", ilog2(self.num_sets))
+        tag_bits = self.address_bits - self.index_bits - self.offset_bits
+        if tag_bits < 0:
+            raise ValueError("address_bits too small for this geometry")
+        object.__setattr__(self, "tag_bits", tag_bits)
+
+    # -- scalar field extraction ------------------------------------------------
+
+    def block_address(self, address: int) -> int:
+        """Drop the byte offset: the line-granular address."""
+        return address >> self.offset_bits
+
+    def offset_of(self, address: int) -> int:
+        return address & (self.line_bytes - 1)
+
+    def index_of(self, address: int) -> int:
+        """Conventional modulo-2^m set index (paper Figure 2)."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag_of(self, address: int) -> int:
+        return address >> (self.offset_bits + self.index_bits)
+
+    def rebuild_address(self, tag: int, index: int, offset: int = 0) -> int:
+        """Inverse of the (tag, index, offset) decomposition."""
+        return (tag << (self.offset_bits + self.index_bits)) | (index << self.offset_bits) | offset
+
+    # -- vectorised field extraction --------------------------------------------
+
+    def block_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        return np.asarray(addresses, dtype=np.uint64) >> np.uint64(self.offset_bits)
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        blocks = self.block_addresses(addresses)
+        return (blocks & np.uint64(self.num_sets - 1)).astype(np.int64)
+
+    def tags_of(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return addresses >> np.uint64(self.offset_bits + self.index_bits)
+
+    # -- convenience -------------------------------------------------------------
+
+    def with_ways(self, ways: int) -> "CacheGeometry":
+        """Same capacity/line size with a different associativity."""
+        return CacheGeometry(self.capacity_bytes, self.line_bytes, ways, self.address_bits)
+
+    def describe(self) -> str:
+        return (
+            f"{self.capacity_bytes // 1024}KiB, {self.line_bytes}B lines, "
+            f"{self.ways}-way, {self.num_sets} sets "
+            f"(tag/index/offset = {self.tag_bits}/{self.index_bits}/{self.offset_bits} bits)"
+        )
+
+
+#: The paper's L1 data-cache configuration (Section IV): 32 KiB direct mapped,
+#: 32-byte lines, 1024 sets, 10 index bits.
+PAPER_L1_GEOMETRY = CacheGeometry(capacity_bytes=32 * 1024, line_bytes=32, ways=1)
+
+#: The paper's unified L2: 256 KiB, LRU.  The paper does not state the L2
+#: associativity; 8-way is the conventional choice for that era.
+PAPER_L2_GEOMETRY = CacheGeometry(capacity_bytes=256 * 1024, line_bytes=32, ways=8)
+
+__all__ += ["PAPER_L1_GEOMETRY", "PAPER_L2_GEOMETRY"]

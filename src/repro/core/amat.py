@@ -1,0 +1,124 @@
+"""Average memory access time (AMAT) models.
+
+Implements the paper's two explicit formulas plus general forms:
+
+* Eq. (8), adaptive cache::
+
+      AMAT = f_direct·1 + (1 - f_direct)·3 + miss_rate · miss_penalty
+
+  where ``f_direct`` is the fraction of *accesses* serviced by the primary
+  probe; every other access (OUT-directory hits *and* misses, which also
+  search the OUT before descending) pays the 3-cycle path.
+
+* Eq. (9), column-associative cache::
+
+      AMAT = f_rehash_hit·2 + (1 - f_rehash_hit)·1
+           + (f_rehash_miss · miss_rate) · (miss_penalty + 1)
+           + ((1 - f_rehash_miss) · miss_rate) · miss_penalty
+
+  where ``f_rehash_hit`` is the fraction of *accesses* that hit on the
+  second probe (first two terms together charge every access its hit-path
+  latency) and ``f_rehash_miss`` the fraction of *misses* that probed both
+  locations before descending (those pay one extra cycle).
+
+* the textbook direct-mapped form ``hit_time + miss_rate · miss_penalty``;
+
+* an exact cycle-accounting form fed by the simulator's per-access lookup
+  cycles, used to cross-validate the analytic formulas in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TimingModel",
+    "amat_direct_mapped",
+    "amat_adaptive",
+    "amat_column_associative",
+    "amat_from_cycles",
+]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Latency parameters shared by the AMAT formulas.
+
+    The paper gives the structural constants (1-cycle primary hit, 2-cycle
+    column-associative rehash hit, 3-cycle adaptive OUT path) but not its L1
+    miss penalty; 18 cycles is a representative L2 round-trip for the era
+    and is swept in the sensitivity bench.
+    """
+
+    hit_cycles: int = 1
+    column_rehash_hit_cycles: int = 2
+    adaptive_out_cycles: int = 3
+    miss_penalty: float = 18.0
+    l2_miss_penalty: float = 120.0
+
+    def scaled(self, miss_penalty: float) -> "TimingModel":
+        return TimingModel(
+            self.hit_cycles,
+            self.column_rehash_hit_cycles,
+            self.adaptive_out_cycles,
+            miss_penalty,
+            self.l2_miss_penalty,
+        )
+
+
+def amat_direct_mapped(miss_rate: float, timing: TimingModel | None = None) -> float:
+    """Textbook AMAT for a single-probe cache."""
+    timing = timing or TimingModel()
+    return timing.hit_cycles + miss_rate * timing.miss_penalty
+
+
+def amat_adaptive(
+    fraction_direct: float, miss_rate: float, timing: TimingModel | None = None
+) -> float:
+    """Paper Eq. (8).  ``fraction_direct`` = direct hits / accesses."""
+    timing = timing or TimingModel()
+    if not 0.0 <= fraction_direct <= 1.0:
+        raise ValueError("fraction_direct must be a probability")
+    lookup = fraction_direct * timing.hit_cycles + (1.0 - fraction_direct) * timing.adaptive_out_cycles
+    return lookup + miss_rate * timing.miss_penalty
+
+
+def amat_column_associative(
+    fraction_rehash_hits: float,
+    fraction_rehash_misses: float,
+    miss_rate: float,
+    timing: TimingModel | None = None,
+) -> float:
+    """Paper Eq. (9).
+
+    ``fraction_rehash_hits`` = rehash (second-probe) hits / accesses;
+    ``fraction_rehash_misses`` = both-probe misses / misses.
+    """
+    timing = timing or TimingModel()
+    for frac in (fraction_rehash_hits, fraction_rehash_misses):
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError("fractions must be probabilities")
+    hit_path = (
+        fraction_rehash_hits * timing.column_rehash_hit_cycles
+        + (1.0 - fraction_rehash_hits) * timing.hit_cycles
+    )
+    miss_path = (
+        fraction_rehash_misses * miss_rate * (timing.miss_penalty + 1.0)
+        + (1.0 - fraction_rehash_misses) * miss_rate * timing.miss_penalty
+    )
+    return hit_path + miss_path
+
+
+def amat_from_cycles(
+    total_lookup_cycles: int, misses: int, accesses: int, timing: TimingModel | None = None
+) -> float:
+    """Exact AMAT from simulated per-access lookup cycles.
+
+    ``total_lookup_cycles`` must be the sum of
+    :attr:`~repro.core.caches.base.AccessResult.cycles` over the trace; each
+    miss additionally pays the timing model's miss penalty.
+    """
+    timing = timing or TimingModel()
+    if accesses <= 0:
+        return 0.0
+    return (total_lookup_cycles + misses * timing.miss_penalty) / accesses

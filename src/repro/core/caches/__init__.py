@@ -1,0 +1,30 @@
+"""Cache models: baselines plus the paper's programmable-associativity
+architectures (Section III)."""
+
+from .adaptive import AdaptiveGroupAssociativeCache
+from .base import EMPTY, AccessResult, CacheModel, CacheStats
+from .bcache import BalancedCache
+from .column_associative import ColumnAssociativeCache
+from .direct_mapped import DirectMappedCache
+from .fully_associative import BeladyCache, FullyAssociativeCache
+from .partner import PartnerIndexCache
+from .set_associative import SetAssociativeCache
+from .skewed import SkewedAssociativeCache
+from .victim import VictimCache
+
+__all__ = [
+    "AccessResult",
+    "CacheModel",
+    "CacheStats",
+    "EMPTY",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "FullyAssociativeCache",
+    "BeladyCache",
+    "ColumnAssociativeCache",
+    "AdaptiveGroupAssociativeCache",
+    "BalancedCache",
+    "VictimCache",
+    "PartnerIndexCache",
+    "SkewedAssociativeCache",
+]

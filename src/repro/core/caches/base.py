@@ -1,0 +1,167 @@
+"""Cache-model protocol and statistics containers.
+
+All models operate at *block granularity*: an access carries a byte address,
+is reduced to a block address, and the block address itself is stored as the
+line's identity (a superset of the hardware tag).  Storing the full block
+address instead of a geometry-relative tag keeps every model correct under
+arbitrary indexing functions — including per-thread functions that map the
+same block to different sets — which a truncated tag would alias.
+
+Statistics come in two layers:
+
+* **global counters** (`hits`, `misses`, plus model-specific classes such as
+  `rehash_hits` or `out_hits`) drive miss rates and the paper's AMAT
+  formulas (8)/(9);
+* **per-slot arrays** drive the uniformity analysis (paper Figures 1 and
+  9-12).  A *slot* is a physical line for direct-mapped-style structures and
+  a set for k-way structures; every probe of a slot increments its access
+  count, a hit is attributed to the slot that hit, and a miss to the access's
+  primary slot.  Consequently ``slot_hits.sum() + slot_misses.sum() ==
+  total_accesses`` always holds, while ``slot_accesses.sum()`` may exceed it
+  when a model probes alternate locations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..address import CacheGeometry
+
+__all__ = ["AccessResult", "CacheStats", "CacheModel", "EMPTY"]
+
+#: Sentinel block value for an empty line.
+EMPTY: int = -1
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    #: Cycles spent in this level's lookup (1 = primary hit; alternates cost
+    #: more; misses report the cycles burnt before going to the next level).
+    cycles: int
+    #: Slot where the lookup started (primary index).
+    primary_slot: int
+    #: Slot that serviced a hit, or where the block was allocated on a miss.
+    serviced_slot: int
+    #: Block evicted to make room, or None.
+    evicted_block: int | None = None
+    #: Model-specific hit class: "direct", "rehash", "out", "victim", ...
+    hit_class: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache model instance."""
+
+    num_slots: int
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Extra hit/miss classes, e.g. {"rehash_hits": 10, "rehash_misses": 5}.
+    extra: dict[str, int] = field(default_factory=dict)
+    slot_accesses: np.ndarray = field(init=False)
+    slot_hits: np.ndarray = field(init=False)
+    slot_misses: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.slot_accesses = np.zeros(self.num_slots, dtype=np.int64)
+        self.slot_hits = np.zeros(self.num_slots, dtype=np.int64)
+        self.slot_misses = np.zeros(self.num_slots, dtype=np.int64)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_probe(self, slot: int) -> None:
+        self.slot_accesses[slot] += 1
+
+    def record_hit(self, slot: int, hit_class: str = "") -> None:
+        self.hits += 1
+        self.slot_hits[slot] += 1
+        if hit_class:
+            self.bump(hit_class + "_hits")
+
+    def record_miss(self, primary_slot: int, miss_class: str = "") -> None:
+        self.misses += 1
+        self.slot_misses[primary_slot] += 1
+        if miss_class:
+            self.bump(miss_class + "_misses")
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def fraction(self, key: str, denominator: str = "accesses") -> float:
+        """extra[key] over a base counter; 0 when the base is 0."""
+        base = getattr(self, denominator, None)
+        if base is None:
+            base = self.extra.get(denominator, 0)
+        return self.extra.get(key, 0) / base if base else 0.0
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the two stat layers disagree."""
+        assert self.hits + self.misses == self.accesses, "hit + miss != accesses"
+        assert int(self.slot_hits.sum()) == self.hits, "per-slot hits drifted"
+        assert int(self.slot_misses.sum()) == self.misses, "per-slot misses drifted"
+        assert int(self.slot_accesses.sum()) >= self.accesses, "probes under-counted"
+
+    def summary(self) -> dict[str, float | int]:
+        out: dict[str, float | int] = {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+        }
+        out.update(self.extra)
+        return out
+
+
+class CacheModel(ABC):
+    """A single cache level driven one access at a time."""
+
+    name: str = "abstract"
+
+    def __init__(self, geometry: CacheGeometry, num_slots: int):
+        self.geometry = geometry
+        self.stats = CacheStats(num_slots)
+
+    # -- main entry ---------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Access one byte address; updates stats and contents."""
+        block = address >> self.geometry.offset_bits
+        self.stats.accesses += 1
+        result = self._access_block(block, is_write)
+        return result
+
+    @abstractmethod
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        """Model-specific lookup/fill at block granularity."""
+
+    # -- management ---------------------------------------------------------------
+
+    @abstractmethod
+    def contents(self) -> set[int]:
+        """The set of resident block addresses (for invariant checks)."""
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats(self.stats.num_slots)
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Invalidate all contents (stats preserved)."""
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.geometry.describe()})"

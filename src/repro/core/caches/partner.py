@@ -1,0 +1,162 @@
+"""Partner-index programmable associativity (the paper's Figure 3 sketch).
+
+The paper sketches — without evaluating — a generalisation of pseudo-
+associativity: each line gains an ``L`` (linked) bit and a *partner index*
+naming a second line, so hot lines borrow capacity from cold ones.  Partners
+can in principle chain into linked lists, trading lookup cycles for
+associativity.  We implement a concrete dynamic version as an extension:
+
+* per-line access and miss counters accumulate during execution;
+* every ``rebalance_period`` accesses, the hottest unlinked lines (by misses
+  since the last rebalance) are paired with the coldest unlinked lines (by
+  accesses), up to ``max_links`` live pairs;
+* a lookup probes the primary line, then follows the partner link if the
+  ``L`` bit is set (one extra cycle per hop); a miss allocates into the
+  least-recently-touched line of the chain.
+
+Pairs are torn down and re-formed at each rebalance, so the structure adapts
+as the program's hot set drifts — the "dynamically match cache lines as
+partners by keeping count of accesses and/or misses to each set" option in
+the paper's text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from ..indexing.base import IndexingScheme
+from ..indexing.modulo import ModuloIndexing
+from .base import EMPTY, AccessResult, CacheModel
+
+__all__ = ["PartnerIndexCache"]
+
+
+class PartnerIndexCache(CacheModel):
+    """Direct-mapped array with dynamically linked partner lines."""
+
+    name = "partner"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        indexing: IndexingScheme | None = None,
+        rebalance_period: int = 8192,
+        max_links: int | None = None,
+    ):
+        if geometry.ways != 1:
+            raise ValueError("the partner cache augments a direct-mapped geometry")
+        super().__init__(geometry, num_slots=geometry.num_sets)
+        self.indexing = indexing if indexing is not None else ModuloIndexing(geometry)
+        n = geometry.num_sets
+        self.rebalance_period = rebalance_period
+        self.max_links = max_links if max_links is not None else n // 8
+        self._blocks = np.full(n, EMPTY, dtype=np.int64)
+        self._linked = np.zeros(n, dtype=bool)  # the L bit
+        self._partner = np.full(n, -1, dtype=np.int64)
+        self._is_donor = np.zeros(n, dtype=bool)  # cold line lending capacity
+        self._stamp = np.zeros(n, dtype=np.int64)  # per-line LRU between pairs
+        self._clock = 0
+        # Counters over the current rebalance window.
+        self._window_accesses = np.zeros(n, dtype=np.int64)
+        self._window_misses = np.zeros(n, dtype=np.int64)
+        self._since_rebalance = 0
+        self._offset_bits = geometry.offset_bits
+
+    # -- linking -----------------------------------------------------------------
+
+    def _rebalance(self) -> None:
+        """Re-pair hot (missing) lines with cold (idle) lines."""
+        # Tear down existing links; resident borrowed blocks stay where they
+        # are and are simply rediscovered as misses later (a cold flush of
+        # links, matching a hardware table rewrite).
+        self._linked.fill(False)
+        self._is_donor.fill(False)
+        self._partner.fill(-1)
+        hot_order = np.argsort(self._window_misses)[::-1]
+        cold_order = np.argsort(self._window_accesses)
+        hot_iter = iter(hot_order)
+        used: set[int] = set()
+        links = 0
+        cold_pos = 0
+        for hot in hot_iter:
+            hot = int(hot)
+            if links >= self.max_links or self._window_misses[hot] == 0:
+                break
+            if hot in used:
+                continue
+            # Find the coldest line not already spoken for and not the hot
+            # line itself.
+            while cold_pos < cold_order.size:
+                cold = int(cold_order[cold_pos])
+                cold_pos += 1
+                if cold != hot and cold not in used:
+                    break
+            else:
+                break
+            if self._window_accesses[cold] >= self._window_misses[hot]:
+                # No line cold enough to be worth borrowing.
+                break
+            self._linked[hot] = True
+            self._partner[hot] = cold
+            self._is_donor[cold] = True
+            used.add(hot)
+            used.add(cold)
+            links += 1
+        self._window_accesses.fill(0)
+        self._window_misses.fill(0)
+        self._since_rebalance = 0
+
+    # -- access -------------------------------------------------------------------
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        self._since_rebalance += 1
+        if self._since_rebalance >= self.rebalance_period:
+            self._rebalance()
+        slot = self.indexing.index_of(block << self._offset_bits)
+        self._clock += 1
+        self._window_accesses[slot] += 1
+        self.stats.record_probe(slot)
+        if self._blocks[slot] == block:
+            self._stamp[slot] = self._clock
+            self.stats.record_hit(slot, "direct")
+            return AccessResult(True, 1, slot, slot, hit_class="direct")
+        if self._linked[slot]:
+            partner = int(self._partner[slot])
+            self.stats.record_probe(partner)
+            if self._blocks[partner] == block:
+                self._stamp[partner] = self._clock
+                self.stats.record_hit(partner, "partner")
+                return AccessResult(True, 2, slot, partner, hit_class="partner")
+            # Miss in the pair: allocate into the least-recently-used of the
+            # two lines (a 2-way set spanning the pair).
+            target = slot if self._stamp[slot] <= self._stamp[partner] else partner
+            evicted = int(self._blocks[target])
+            self._blocks[target] = block
+            self._stamp[target] = self._clock
+            self._window_misses[slot] += 1
+            self.stats.record_miss(slot, "partner")
+            return AccessResult(
+                False, 2, slot, target, evicted_block=None if evicted == EMPTY else evicted
+            )
+        evicted = int(self._blocks[slot])
+        self._blocks[slot] = block
+        self._stamp[slot] = self._clock
+        self._window_misses[slot] += 1
+        self.stats.record_miss(slot)
+        return AccessResult(
+            False, 1, slot, slot, evicted_block=None if evicted == EMPTY else evicted
+        )
+
+    @property
+    def live_links(self) -> int:
+        return int(self._linked.sum())
+
+    def contents(self) -> set[int]:
+        return {int(b) for b in self._blocks if b != EMPTY}
+
+    def flush(self) -> None:
+        self._blocks.fill(EMPTY)
+        self._linked.fill(False)
+        self._partner.fill(-1)
+        self._is_donor.fill(False)

@@ -1,0 +1,129 @@
+"""Skewed-associative cache (Seznec, ISCA'93) — extension comparator.
+
+Contemporary with the column-associative cache and attacking the same
+problem from the opposite direction: instead of one index function and
+extra probes, a skewed-associative cache gives *each way its own index
+function*.  Two blocks that conflict in way 0 almost never conflict in
+way 1, so a 2-way skewed cache behaves like a much more associative one.
+
+It unifies the paper's two technique families — it *is* "indexing +
+programmable associativity" in a single structure — which makes it the
+natural upper-reference for the hybrid experiments (``ext-hybrid``).
+
+Implementation: the total capacity is split into ``ways`` banks, each a
+direct-mapped array of ``capacity / ways`` indexed by its own scheme
+(defaults: modulo for bank 0, XOR with increasing tag-slice offsets for the
+rest — Seznec's inter-bank dispersion requirement).  Lookup probes all
+banks in parallel (1 cycle, like a conventional set-associative cache);
+replacement picks the least-recently-touched candidate line across banks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from ..indexing.base import IndexingScheme
+from ..indexing.modulo import ModuloIndexing
+from ..indexing.xor import XorIndexing
+from .base import EMPTY, AccessResult, CacheModel
+
+__all__ = ["SkewedAssociativeCache"]
+
+
+class SkewedAssociativeCache(CacheModel):
+    """N equal banks, one index function per bank, global-LRU victims.
+
+    ``geometry`` describes the *total* cache (capacity, line size); it must
+    be 1-way — the skewing, not the geometry, provides the associativity.
+    """
+
+    name = "skewed"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        ways: int = 2,
+        schemes: list[IndexingScheme] | None = None,
+    ):
+        if geometry.ways != 1:
+            raise ValueError("pass the total capacity as a 1-way geometry")
+        if ways < 2:
+            raise ValueError("a skewed cache needs at least two banks")
+        if geometry.capacity_bytes % ways:
+            raise ValueError("capacity must divide evenly into the banks")
+        bank_geometry = CacheGeometry(
+            geometry.capacity_bytes // ways,
+            geometry.line_bytes,
+            1,
+            geometry.address_bits,
+        )
+        if schemes is None:
+            schemes = [ModuloIndexing(bank_geometry)] + [
+                XorIndexing(bank_geometry, tag_bit_offset=k - 1) for k in range(1, ways)
+            ]
+        if len(schemes) != ways:
+            raise ValueError("need exactly one index scheme per bank")
+        for s in schemes:
+            if s.geometry.num_sets != bank_geometry.num_sets:
+                raise ValueError("bank scheme geometry mismatch")
+        self.bank_geometry = bank_geometry
+        self.schemes = schemes
+        self.ways = ways
+        super().__init__(geometry, num_slots=geometry.num_lines)
+        self._bank_sets = bank_geometry.num_sets
+        self._blocks = np.full((ways, self._bank_sets), EMPTY, dtype=np.int64)
+        self._stamp = np.zeros((ways, self._bank_sets), dtype=np.int64)
+        self._clock = 0
+        self._offset_bits = geometry.offset_bits
+
+    def _slot(self, bank: int, index: int) -> int:
+        return bank * self._bank_sets + index
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        address = block << self._offset_bits
+        self._clock += 1
+        indices = [s.index_of(address) for s in self.schemes]
+        primary = self._slot(0, indices[0])
+        for bank in range(self.ways):
+            self.stats.record_probe(self._slot(bank, indices[bank]))
+        for bank, idx in enumerate(indices):
+            if self._blocks[bank, idx] == block:
+                self._stamp[bank, idx] = self._clock
+                slot = self._slot(bank, idx)
+                self.stats.record_hit(slot, "direct")
+                return AccessResult(True, 1, primary, slot, hit_class="direct")
+        # Miss: fill an invalid candidate first, else the LRU candidate.
+        victim_bank = -1
+        for bank, idx in enumerate(indices):
+            if self._blocks[bank, idx] == EMPTY:
+                victim_bank = bank
+                break
+        if victim_bank < 0:
+            stamps = [self._stamp[bank, idx] for bank, idx in enumerate(indices)]
+            victim_bank = int(np.argmin(stamps))
+        idx = indices[victim_bank]
+        evicted = int(self._blocks[victim_bank, idx])
+        self._blocks[victim_bank, idx] = block
+        self._stamp[victim_bank, idx] = self._clock
+        self.stats.record_miss(primary)
+        return AccessResult(
+            False,
+            1,
+            primary,
+            self._slot(victim_bank, idx),
+            evicted_block=None if evicted == EMPTY else evicted,
+        )
+
+    def contents(self) -> set[int]:
+        resident = self._blocks[self._blocks != EMPTY]
+        return {int(b) for b in resident}
+
+    def check_invariants(self) -> None:
+        resident = self._blocks[self._blocks != EMPTY]
+        assert np.unique(resident).size == resident.size, "duplicate resident block"
+        self.stats.check_invariants()
+
+    def flush(self) -> None:
+        self._blocks.fill(EMPTY)
+        self._stamp.fill(0)

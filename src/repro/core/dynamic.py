@@ -1,0 +1,144 @@
+"""Dynamic index-scheme switching (the paper's stated research direction).
+
+The paper's Figure 5 programs one profiled scheme per application.  Its
+conclusion goes further: indexing schemes "are static; they do not adjust
+dynamically to a given application's memory access pattern".  This module
+implements that missing piece as an extension:
+
+:class:`DynamicIndexCache` is a direct-mapped cache that
+
+* keeps a ring buffer of the most recent block addresses (the on-line
+  profile) and per-window miss counts;
+* when a window's miss rate deteriorates past ``trigger_ratio`` times the
+  best window seen since the last switch (a phase change), re-scores the
+  candidate schemes on the ring buffer with the vectorised simulator and
+  switches to the winner if it beats the incumbent by ``min_gain``;
+* pays for the switch honestly: the array is flushed (every resident block
+  is lost, upcoming refills become misses) and the switch count is recorded.
+
+On phase-changing programs this beats every *static* scheme choice, which
+is the claim the experiment ``ext-dynamic`` and the tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import CacheGeometry
+from .caches.base import EMPTY, AccessResult, CacheModel
+from .fastsim import direct_mapped_miss_count
+from .indexing.base import IndexingScheme
+from .indexing.modulo import ModuloIndexing
+
+__all__ = ["DynamicIndexCache"]
+
+
+class DynamicIndexCache(CacheModel):
+    """Direct-mapped cache with on-line scheme re-selection."""
+
+    name = "dynamic_index"
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        candidates: list[IndexingScheme],
+        window: int = 4096,
+        history: int = 8192,
+        trigger_ratio: float = 1.5,
+        min_gain: float = 0.1,
+    ):
+        if geometry.ways != 1:
+            raise ValueError("DynamicIndexCache is direct-mapped")
+        if not candidates:
+            raise ValueError("need at least one candidate scheme")
+        for s in candidates:
+            if s.requires_training():
+                raise ValueError("trainable schemes cannot be re-fitted on-line here")
+            if s.geometry.num_sets != geometry.num_sets:
+                raise ValueError("candidate geometry mismatch")
+        super().__init__(geometry, num_slots=geometry.num_sets)
+        self.candidates = list(candidates)
+        self.current: IndexingScheme = ModuloIndexing(geometry)
+        self.window = window
+        self.history = history
+        self.trigger_ratio = trigger_ratio
+        self.min_gain = min_gain
+        self.switches = 0
+        self.switch_log: list[tuple[int, str]] = []
+        self._blocks = np.full(geometry.num_sets, EMPTY, dtype=np.int64)
+        self._ring = np.zeros(history, dtype=np.int64)
+        self._ring_fill = 0
+        self._ring_pos = 0
+        self._window_accesses = 0
+        self._window_misses = 0
+        self._best_window_rate: float | None = None
+        self._tick = 0
+        self._offset_bits = geometry.offset_bits
+
+    # -- adaptation ---------------------------------------------------------------
+
+    def _recent_blocks(self) -> np.ndarray:
+        if self._ring_fill < self.history:
+            return self._ring[: self._ring_fill]
+        return np.concatenate([self._ring[self._ring_pos :], self._ring[: self._ring_pos]])
+
+    def _maybe_switch(self) -> None:
+        rate = self._window_misses / self._window_accesses
+        self._window_accesses = 0
+        self._window_misses = 0
+        if self._best_window_rate is None or rate < self._best_window_rate:
+            self._best_window_rate = rate
+            return
+        if rate < self.trigger_ratio * self._best_window_rate or rate < 0.01:
+            return
+        # Phase change suspected: re-score candidates on the ring buffer.
+        blocks = self._recent_blocks()
+        if blocks.size < self.window:
+            return
+        addresses = blocks.astype(np.uint64) << np.uint64(self._offset_bits)
+        scores: list[tuple[int, IndexingScheme]] = []
+        for scheme in [self.current] + [s for s in self.candidates if s is not self.current]:
+            cost = direct_mapped_miss_count(blocks, scheme.indices_of(addresses))
+            scores.append((cost, scheme))
+        incumbent_cost = scores[0][0]
+        best_cost, best = min(scores, key=lambda cs: cs[0])
+        if best is self.current or best_cost > (1.0 - self.min_gain) * incumbent_cost:
+            return
+        # Commit: flush (the honest switch cost) and adopt the winner.
+        self.current = best
+        self._blocks.fill(EMPTY)
+        self.switches += 1
+        self.switch_log.append((self._tick, best.name))
+        self.stats.bump("scheme_switches")
+        self._best_window_rate = None
+
+    # -- access -------------------------------------------------------------------
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        self._tick += 1
+        self._ring[self._ring_pos] = block
+        self._ring_pos = (self._ring_pos + 1) % self.history
+        self._ring_fill = min(self._ring_fill + 1, self.history)
+        slot = self.current.index_of(block << self._offset_bits)
+        self.stats.record_probe(slot)
+        self._window_accesses += 1
+        if self._blocks[slot] == block:
+            self.stats.record_hit(slot, "direct")
+            result = AccessResult(True, 1, slot, slot, hit_class="direct")
+        else:
+            evicted = int(self._blocks[slot])
+            self._blocks[slot] = block
+            self._window_misses += 1
+            self.stats.record_miss(slot)
+            result = AccessResult(
+                False, 1, slot, slot, evicted_block=None if evicted == EMPTY else evicted
+            )
+        if self._window_accesses >= self.window:
+            self._maybe_switch()
+        return result
+
+    def contents(self) -> set[int]:
+        return {int(b) for b in self._blocks if b != EMPTY}
+
+    def flush(self) -> None:
+        self._blocks.fill(EMPTY)

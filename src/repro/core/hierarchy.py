@@ -1,0 +1,129 @@
+"""Two-level cache hierarchy (the paper's L1 + unified 256 KiB LRU L2).
+
+The paper's AMAT formulas fold everything below L1 into a single
+``MissPenalty``; this module provides the explicit alternative — an L1 of
+any model backed by a set-associative LRU L2 — so the penalty can itself be
+*measured* (L2 hit latency vs memory latency weighted by the simulated L2
+miss rate) rather than assumed.  The sensitivity bench compares conclusions
+under both treatments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.event import Trace
+from .address import PAPER_L2_GEOMETRY, CacheGeometry
+from .amat import TimingModel
+from .caches.base import CacheModel
+from .caches.set_associative import SetAssociativeCache
+from .simulator import SimulationResult, _result_from_stats
+
+__all__ = ["HierarchyResult", "CacheHierarchy"]
+
+
+@dataclass
+class HierarchyResult:
+    """Joint outcome of an L1+L2 simulation."""
+
+    l1: SimulationResult
+    l2: SimulationResult
+    total_cycles: float
+    accesses: int
+    #: Dirty L1 lines written back to L2 on eviction (write-back policy).
+    writebacks: int = 0
+
+    @property
+    def amat(self) -> float:
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def writeback_rate(self) -> float:
+        """Writebacks per access — the L1→L2 write-traffic figure."""
+        return self.writebacks / self.accesses if self.accesses else 0.0
+
+    @property
+    def effective_miss_penalty(self) -> float:
+        """The measured average cost of an L1 miss — what the paper's
+        ``MissPenalty`` constant abstracts."""
+        if not self.l1.misses:
+            return 0.0
+        served_in_l2 = self.l1.misses - self.l2.misses
+        return (
+            served_in_l2 * self._l2_latency + self.l2.misses * self._memory_latency
+        ) / self.l1.misses
+
+    # populated by CacheHierarchy.run
+    _l2_latency: float = 0.0
+    _memory_latency: float = 0.0
+
+
+class CacheHierarchy:
+    """L1 (any model) + unified L2 (set-associative LRU)."""
+
+    def __init__(
+        self,
+        l1: CacheModel,
+        l2: CacheModel | None = None,
+        l2_geometry: CacheGeometry | None = None,
+        timing: TimingModel | None = None,
+    ):
+        self.l1 = l1
+        if l2 is None:
+            l2 = SetAssociativeCache(l2_geometry or PAPER_L2_GEOMETRY, policy="lru")
+        self.l2 = l2
+        self.timing = timing or TimingModel()
+
+    def run(self, trace: Trace) -> HierarchyResult:
+        addresses = trace.addresses
+        is_write = trace.is_write
+        l1, l2 = self.l1, self.l2
+        l2_latency = self.timing.miss_penalty
+        memory_latency = self.timing.l2_miss_penalty
+        offset_bits = l1.geometry.offset_bits
+        cycles = 0.0
+        l1_cycles = 0
+        l2_cycles = 0
+        writebacks = 0
+        # Write-back, write-allocate L1: track dirty blocks here so every
+        # cache model (which reports evictions but not dirtiness) gets the
+        # same policy.  Evicting a dirty block issues an L2 write.
+        dirty: set[int] = set()
+        for i in range(addresses.size):
+            a = int(addresses[i])
+            w = bool(is_write[i])
+            block = a >> offset_bits
+            r1 = l1.access(a, w)
+            l1_cycles += r1.cycles
+            cycles += r1.cycles
+            if w:
+                dirty.add(block)
+            if not r1.hit:
+                if r1.evicted_block is not None and r1.evicted_block in dirty:
+                    dirty.discard(r1.evicted_block)
+                    writebacks += 1
+                    l2.access(r1.evicted_block << offset_bits, True)
+                    l2_cycles += 1
+                r2 = l2.access(a, w)
+                l2_cycles += 1
+                if r2.hit:
+                    cycles += l2_latency
+                else:
+                    cycles += memory_latency
+            elif r1.evicted_block is not None:
+                # Some models relocate/evict even on hits (e.g. swap paths).
+                if r1.evicted_block in dirty:
+                    dirty.discard(r1.evicted_block)
+                    writebacks += 1
+                    l2.access(r1.evicted_block << offset_bits, True)
+                    l2_cycles += 1
+        result = HierarchyResult(
+            l1=_result_from_stats(l1.name, trace.name, l1.stats, l1_cycles),
+            l2=_result_from_stats(l2.name, trace.name, l2.stats, l2_cycles),
+            total_cycles=cycles,
+            accesses=int(addresses.size),
+            writebacks=writebacks,
+        )
+        result._l2_latency = l2_latency
+        result._memory_latency = memory_latency
+        return result

@@ -1,0 +1,44 @@
+"""Cache indexing schemes (paper Section II).
+
+Importing this package populates the scheme registry; use
+:func:`make_scheme`/:func:`available_schemes` for name-based construction.
+"""
+
+from .base import (
+    SCHEME_REGISTRY,
+    IndexingScheme,
+    TrainableIndexingScheme,
+    available_schemes,
+    make_scheme,
+    register_scheme,
+)
+from .bit_select import BitSelectIndexing, candidate_bit_positions
+from .givargis import GivargisIndexing
+from .givargis_xor import GivargisXorIndexing
+from .modulo import ModuloIndexing
+from .odd_multiplier import RECOMMENDED_MULTIPLIERS, OddMultiplierIndexing
+from .patel import PatelIndexing
+from .prime_modulo import PrimeModuloIndexing, is_prime, largest_prime_at_most, primes_up_to
+from .xor import XorIndexing
+
+__all__ = [
+    "IndexingScheme",
+    "TrainableIndexingScheme",
+    "register_scheme",
+    "make_scheme",
+    "available_schemes",
+    "SCHEME_REGISTRY",
+    "ModuloIndexing",
+    "XorIndexing",
+    "OddMultiplierIndexing",
+    "RECOMMENDED_MULTIPLIERS",
+    "PrimeModuloIndexing",
+    "is_prime",
+    "largest_prime_at_most",
+    "primes_up_to",
+    "GivargisIndexing",
+    "GivargisXorIndexing",
+    "PatelIndexing",
+    "BitSelectIndexing",
+    "candidate_bit_positions",
+]

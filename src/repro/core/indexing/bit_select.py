@@ -1,0 +1,69 @@
+"""Generic selected-bits indexing.
+
+Both the Givargis and Patel schemes reduce to "pick ``m`` address-bit
+positions; the index is the concatenation of those bits".  This module holds
+the shared machinery: a concrete scheme over fixed positions, plus helpers to
+extract the bit matrix of a set of addresses (used by the trainers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry, gather_bits, gather_bits_vec
+from .base import IndexingScheme, register_scheme
+
+__all__ = ["BitSelectIndexing", "candidate_bit_positions", "bit_matrix"]
+
+
+def candidate_bit_positions(geometry: CacheGeometry, include_offset_bits: bool = False) -> tuple[int, ...]:
+    """Address-bit positions eligible for selection.
+
+    The paper (Section IV.A) did *not* use byte-offset bits when training
+    Givargis' method — and attributes Givargis' poor showing on 32-byte lines
+    to exactly this exclusion.  ``include_offset_bits=True`` re-admits them,
+    which the block-size ablation uses to reproduce that prose claim.
+    """
+    low = 0 if include_offset_bits else geometry.offset_bits
+    return tuple(range(low, geometry.address_bits))
+
+
+def bit_matrix(addresses: np.ndarray, positions: tuple[int, ...]) -> np.ndarray:
+    """(len(addresses), len(positions)) uint8 matrix of the selected bits."""
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    cols = [((addresses >> np.uint64(p)) & np.uint64(1)).astype(np.uint8) for p in positions]
+    if not cols:
+        return np.zeros((addresses.size, 0), dtype=np.uint8)
+    return np.stack(cols, axis=1)
+
+
+@register_scheme
+class BitSelectIndexing(IndexingScheme):
+    """Index = concatenation of the address bits at ``positions``.
+
+    ``positions[0]`` supplies the least-significant index bit.  The number of
+    positions must equal the geometry's index-bit count so every set is
+    addressable.
+    """
+
+    name = "bit_select"
+
+    def __init__(self, geometry: CacheGeometry, positions: tuple[int, ...] | list[int]):
+        super().__init__(geometry)
+        positions = tuple(int(p) for p in positions)
+        if len(positions) != geometry.index_bits:
+            raise ValueError(
+                f"need exactly {geometry.index_bits} bit positions, got {len(positions)}"
+            )
+        if len(set(positions)) != len(positions):
+            raise ValueError("bit positions must be distinct")
+        for p in positions:
+            if not 0 <= p < geometry.address_bits:
+                raise ValueError(f"bit position {p} outside the {geometry.address_bits}-bit address")
+        self.positions = positions
+
+    def index_of(self, address: int) -> int:
+        return gather_bits(address, self.positions)
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        return gather_bits_vec(np.asarray(addresses, dtype=np.uint64), self.positions).astype(np.int64)

@@ -1,0 +1,130 @@
+"""Givargis profile-driven index selection (paper Section II.A, DAC'03).
+
+From the *unique* addresses of a profiling trace, two statistics are built
+over candidate address bits:
+
+* quality ``Q_i = min(Z_i, O_i) / max(Z_i, O_i)`` — how evenly bit *i* splits
+  the unique addresses between 0 and 1 (Eq. 1).  1.0 is a perfect splitter.
+* correlation ``C_ij = min(E_ij, D_ij) / max(E_ij, D_ij)`` — 1.0 when bits
+  *i* and *j* agree and disagree equally often (independent), 0.0 when they
+  are identical or complementary across all addresses (Eq. 2, where E/D count
+  equal/different occurrences).
+
+Selection is greedy: take the highest-quality bit, then damp every remaining
+bit's quality by its correlation row with the pick (the "dot product" /
+update step the paper describes), and repeat until ``m`` bits are chosen.
+Highly correlated bits carry redundant information, so damping them steers
+the index toward independent splitters.
+
+Per the paper's Section IV.A, byte-offset bits are excluded from the
+candidate pool by default; ``include_offset_bits=True`` restores them for the
+block-size ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry, gather_bits, gather_bits_vec
+from .base import TrainableIndexingScheme, register_scheme
+from .bit_select import bit_matrix, candidate_bit_positions
+
+__all__ = ["GivargisIndexing", "bit_quality", "bit_correlation_matrix", "select_bits_greedy"]
+
+
+def bit_quality(bits: np.ndarray) -> np.ndarray:
+    """Quality vector (Eq. 1) from a (U, nbits) 0/1 matrix of unique addresses."""
+    total = bits.shape[0]
+    if total == 0:
+        raise ValueError("cannot score bit quality with zero addresses")
+    ones = bits.sum(axis=0, dtype=np.int64)
+    zeros = total - ones
+    lo = np.minimum(ones, zeros).astype(np.float64)
+    hi = np.maximum(ones, zeros).astype(np.float64)
+    # A constant bit has lo == 0 and quality 0; hi is never 0 for total > 0.
+    return lo / hi
+
+
+def bit_correlation_matrix(bits: np.ndarray) -> np.ndarray:
+    """Correlation matrix (Eq. 2): 1 = independent, 0 = identical/complementary."""
+    total, nbits = bits.shape
+    if total == 0:
+        raise ValueError("cannot correlate bits over zero addresses")
+    x = bits.astype(np.float64)
+    # E_ij = #(both 1) + #(both 0); D_ij = total - E_ij.
+    n11 = x.T @ x
+    ones = x.sum(axis=0)
+    # #(i=1, j=0) = ones_i - n11; by symmetry for (0,1); both-zero fills the rest.
+    equal = 2.0 * n11 - ones[:, None] - ones[None, :] + total
+    diff = total - equal
+    lo = np.minimum(equal, diff)
+    hi = np.maximum(equal, diff)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(hi > 0, lo / hi, 0.0)
+    np.fill_diagonal(corr, 0.0)  # a bit is fully correlated with itself
+    return corr
+
+
+def select_bits_greedy(
+    quality: np.ndarray, correlation: np.ndarray, count: int
+) -> list[int]:
+    """Greedy quality-maximising, correlation-damping bit selection.
+
+    Returns ``count`` column indices into the candidate pool, in selection
+    order (first pick = least-significant index bit, matching Givargis'
+    construction).
+    """
+    nbits = quality.shape[0]
+    if count > nbits:
+        raise ValueError(f"cannot select {count} bits from a pool of {nbits}")
+    score = quality.astype(np.float64).copy()
+    chosen: list[int] = []
+    available = np.ones(nbits, dtype=bool)
+    for _ in range(count):
+        masked = np.where(available, score, -np.inf)
+        pick = int(np.argmax(masked))
+        if not np.isfinite(masked[pick]):
+            # Degenerate pool (all remaining scores -inf); take any free bit.
+            pick = int(np.flatnonzero(available)[0])
+        chosen.append(pick)
+        available[pick] = False
+        # Damp remaining bits by their independence from the pick: bits that
+        # duplicate the pick (C -> 0) are pushed to the back of the queue.
+        score *= correlation[pick]
+    return chosen
+
+
+@register_scheme
+class GivargisIndexing(TrainableIndexingScheme):
+    """Index = concatenation of the m greedily selected high-quality bits."""
+
+    name = "givargis"
+
+    def __init__(self, geometry: CacheGeometry, include_offset_bits: bool = False):
+        super().__init__(geometry)
+        self.include_offset_bits = include_offset_bits
+        self.positions: tuple[int, ...] = ()
+        self.quality_: np.ndarray | None = None
+        self.correlation_: np.ndarray | None = None
+        self._candidates = candidate_bit_positions(geometry, include_offset_bits)
+
+    def fit(self, addresses: np.ndarray) -> "GivargisIndexing":
+        addresses = np.asarray(addresses, dtype=np.uint64).ravel()
+        if addresses.size == 0:
+            raise ValueError("empty profiling trace")
+        unique = np.unique(addresses)
+        bits = bit_matrix(unique, self._candidates)
+        self.quality_ = bit_quality(bits)
+        self.correlation_ = bit_correlation_matrix(bits)
+        cols = select_bits_greedy(self.quality_, self.correlation_, self.geometry.index_bits)
+        self.positions = tuple(self._candidates[c] for c in cols)
+        self._fitted = True
+        return self
+
+    def index_of(self, address: int) -> int:
+        self._require_fitted()
+        return gather_bits(address, self.positions)
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return gather_bits_vec(np.asarray(addresses, dtype=np.uint64), self.positions).astype(np.int64)

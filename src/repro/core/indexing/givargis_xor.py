@@ -1,0 +1,61 @@
+"""Givargis-XOR hybrid indexing (paper Section II.E — the paper's own proposal).
+
+Select ``m`` high-quality, low-correlation bits *from the tag region* with
+Givargis' procedure, then XOR the gathered bits with the conventional index
+bits: the profile steers which tag entropy gets folded into the index, while
+the XOR keeps the conventional index's spatial-locality spreading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry, gather_bits, gather_bits_vec
+from .base import TrainableIndexingScheme, register_scheme
+from .bit_select import bit_matrix
+from .givargis import bit_correlation_matrix, bit_quality, select_bits_greedy
+
+__all__ = ["GivargisXorIndexing"]
+
+
+@register_scheme
+class GivargisXorIndexing(TrainableIndexingScheme):
+    """``index = conventional_index XOR gather(selected tag bits)``."""
+
+    name = "givargis_xor"
+
+    def __init__(self, geometry: CacheGeometry):
+        super().__init__(geometry)
+        # Candidates are strictly tag bits: above offset+index.
+        low = geometry.offset_bits + geometry.index_bits
+        self._candidates = tuple(range(low, geometry.address_bits))
+        if len(self._candidates) < geometry.index_bits:
+            raise ValueError("tag region narrower than the index; geometry unsupported")
+        self.positions: tuple[int, ...] = ()
+        self._index_shift = geometry.offset_bits
+        self._mask = geometry.num_sets - 1
+
+    def fit(self, addresses: np.ndarray) -> "GivargisXorIndexing":
+        addresses = np.asarray(addresses, dtype=np.uint64).ravel()
+        if addresses.size == 0:
+            raise ValueError("empty profiling trace")
+        unique = np.unique(addresses)
+        bits = bit_matrix(unique, self._candidates)
+        quality = bit_quality(bits)
+        correlation = bit_correlation_matrix(bits)
+        cols = select_bits_greedy(quality, correlation, self.geometry.index_bits)
+        self.positions = tuple(self._candidates[c] for c in cols)
+        self._fitted = True
+        return self
+
+    def index_of(self, address: int) -> int:
+        self._require_fitted()
+        index = (address >> self._index_shift) & self._mask
+        return index ^ gather_bits(address, self.positions)
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        index = (addresses >> np.uint64(self._index_shift)) & np.uint64(self._mask)
+        tag_hash = gather_bits_vec(addresses, self.positions)
+        return (index ^ tag_hash).astype(np.int64)

@@ -1,0 +1,33 @@
+"""Conventional modulo-power-of-two indexing (the paper's baseline).
+
+The traditional cache of Figure 2: the ``m`` bits directly above the byte
+offset select the set, i.e. ``index = block_address mod 2**m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from .base import IndexingScheme, register_scheme
+
+__all__ = ["ModuloIndexing"]
+
+
+@register_scheme
+class ModuloIndexing(IndexingScheme):
+    """``index = (address >> offset_bits) & (num_sets - 1)``."""
+
+    name = "modulo"
+
+    def __init__(self, geometry: CacheGeometry):
+        super().__init__(geometry)
+        self._shift = geometry.offset_bits
+        self._mask = geometry.num_sets - 1
+
+    def index_of(self, address: int) -> int:
+        return (address >> self._shift) & self._mask
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        return ((addresses >> np.uint64(self._shift)) & np.uint64(self._mask)).astype(np.int64)

@@ -1,0 +1,53 @@
+"""Odd-multiplier displacement indexing (paper Section II.C).
+
+``index = (p * T + I) mod s`` where ``T`` is the tag, ``I`` the conventional
+index, ``s`` the number of sets and ``p`` an odd multiplier.  Based on the
+hash family of Ghose & Kamble and Raghavan & Hayes' RANDOM-H functions.  The
+source papers recommend multipliers 9, 21, 31 and 61; the paper's
+multithreaded experiments (its Figure 13) give each SMT thread a *different*
+multiplier, which is why the multiplier is a first-class parameter here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from .base import IndexingScheme, register_scheme
+
+__all__ = ["OddMultiplierIndexing", "RECOMMENDED_MULTIPLIERS"]
+
+#: Multipliers recommended by Kharbutli et al. and quoted in the paper.
+RECOMMENDED_MULTIPLIERS: tuple[int, ...] = (9, 21, 31, 61)
+
+
+@register_scheme
+class OddMultiplierIndexing(IndexingScheme):
+    """``index = (multiplier * tag + index) mod num_sets``."""
+
+    name = "odd_multiplier"
+
+    def __init__(self, geometry: CacheGeometry, multiplier: int = 9):
+        super().__init__(geometry)
+        if multiplier % 2 == 0:
+            raise ValueError(f"multiplier must be odd, got {multiplier}")
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        self.multiplier = multiplier
+        self._index_shift = geometry.offset_bits
+        self._tag_shift = geometry.offset_bits + geometry.index_bits
+        self._mask = geometry.num_sets - 1
+
+    def index_of(self, address: int) -> int:
+        index = (address >> self._index_shift) & self._mask
+        tag = address >> self._tag_shift
+        return (self.multiplier * tag + index) & self._mask
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        index = (addresses >> np.uint64(self._index_shift)) & mask
+        tag = addresses >> np.uint64(self._tag_shift)
+        # uint64 arithmetic wraps mod 2^64; the final mask keeps the result in
+        # range, identical to the scalar computation for 32-bit addresses.
+        return ((np.uint64(self.multiplier) * tag + index) & mask).astype(np.int64)

@@ -1,0 +1,89 @@
+"""Prime-modulo indexing (paper Section II.B, after Kharbutli et al. 2004).
+
+``index = block_address mod p`` for the largest prime ``p`` ≤ the number of
+sets.  Dividing by a prime breaks up the power-of-two strides that alias under
+conventional indexing.  The cost — noted by the paper — is *fragmentation*:
+sets ``p .. num_sets-1`` are never used.  :attr:`usable_sets` reports ``p`` so
+the uniformity metrics can be computed over the live sets only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from .base import IndexingScheme, register_scheme
+
+__all__ = ["PrimeModuloIndexing", "is_prime", "largest_prime_at_most", "primes_up_to"]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality (fine for n ≤ a few million)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def largest_prime_at_most(n: int) -> int:
+    """Largest prime ``p`` with ``p <= n``; raises for n < 2."""
+    if n < 2:
+        raise ValueError("no prime <= {}".format(n))
+    p = n
+    while not is_prime(p):
+        p -= 1
+    return p
+
+
+def primes_up_to(n: int) -> list[int]:
+    """All primes ≤ n via a simple sieve (used by tests and sweeps)."""
+    if n < 2:
+        return []
+    sieve = np.ones(n + 1, dtype=bool)
+    sieve[:2] = False
+    for p in range(2, int(n**0.5) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = False
+    return [int(p) for p in np.flatnonzero(sieve)]
+
+
+@register_scheme
+class PrimeModuloIndexing(IndexingScheme):
+    """``index = (address >> offset_bits) mod p``, ``p`` prime ≤ num_sets."""
+
+    name = "prime_modulo"
+
+    def __init__(self, geometry: CacheGeometry, prime: int | None = None):
+        super().__init__(geometry)
+        if prime is None:
+            prime = largest_prime_at_most(geometry.num_sets)
+        if not is_prime(prime):
+            raise ValueError(f"{prime} is not prime")
+        if prime > geometry.num_sets:
+            raise ValueError("prime exceeds the number of sets")
+        self.prime = prime
+        self._shift = geometry.offset_bits
+
+    @property
+    def usable_sets(self) -> int:
+        return self.prime
+
+    @property
+    def fragmented_sets(self) -> int:
+        """Sets that can never be indexed (the fragmentation cost)."""
+        return self.geometry.num_sets - self.prime
+
+    def index_of(self, address: int) -> int:
+        return (address >> self._shift) % self.prime
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(addresses, dtype=np.uint64) >> np.uint64(self._shift)
+        return (blocks % np.uint64(self.prime)).astype(np.int64)

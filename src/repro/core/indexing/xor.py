@@ -1,0 +1,53 @@
+"""Exclusive-OR hashing (paper Section II.D, after Kharbutli et al. 2004).
+
+``index = (t XOR I) mod s`` where ``I`` is the conventional index field and
+``t`` is an equally wide slice of the tag.  When two addresses share index
+bits, at least one tag bit differs, so XORing tag into index separates them —
+exactly the conflict-dispersal argument in the paper.
+
+The tag slice defaults to the *low* tag bits (the bits immediately above the
+index field), which is the classic choice; the constructor exposes
+``tag_bit_offset`` so higher tag slices can be explored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..address import CacheGeometry
+from .base import IndexingScheme, register_scheme
+
+__all__ = ["XorIndexing"]
+
+
+@register_scheme
+class XorIndexing(IndexingScheme):
+    """``index = I xor tag_slice``; number of tag bits equals index bits."""
+
+    name = "xor"
+
+    def __init__(self, geometry: CacheGeometry, tag_bit_offset: int = 0):
+        super().__init__(geometry)
+        if tag_bit_offset < 0:
+            raise ValueError("tag_bit_offset must be non-negative")
+        m = geometry.index_bits
+        if tag_bit_offset + m > geometry.tag_bits:
+            # Not enough tag bits at that offset; clamp to what exists.  The
+            # mask below zeroes the missing high bits naturally.
+            pass
+        self.tag_bit_offset = tag_bit_offset
+        self._index_shift = geometry.offset_bits
+        self._tag_shift = geometry.offset_bits + m + tag_bit_offset
+        self._mask = geometry.num_sets - 1
+
+    def index_of(self, address: int) -> int:
+        index = (address >> self._index_shift) & self._mask
+        tag_slice = (address >> self._tag_shift) & self._mask
+        return index ^ tag_slice
+
+    def indices_of(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        index = (addresses >> np.uint64(self._index_shift)) & mask
+        tag_slice = (addresses >> np.uint64(self._tag_shift)) & mask
+        return (index ^ tag_slice).astype(np.int64)

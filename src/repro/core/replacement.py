@@ -1,0 +1,233 @@
+"""Replacement policies for associative cache structures.
+
+Every associative structure in the package (set-associative caches, the
+B-cache's clusters, the adaptive cache's OUT directory, the victim cache)
+delegates victim selection to one of these policies.  A policy instance
+manages *all* sets of one cache: calls carry an explicit set index, which
+keeps per-set state in flat arrays and avoids one Python object per set.
+
+The protocol is deliberately tiny:
+
+* ``touch(set_index, way)``   -- the line was referenced (hit or fill).
+* ``victim(set_index)``       -- choose the way to evict from a full set.
+* ``invalidate(set_index, way)`` -- the line was removed.
+
+Policies are deterministic given their seed; ``RandomPolicy`` takes an
+explicit RNG seed so simulations reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PLRUPolicy",
+    "MRUPolicy",
+    "LFUPolicy",
+    "make_policy",
+    "POLICIES",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection for a cache with ``num_sets`` sets of ``ways`` ways."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_sets: int, ways: int):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a reference to ``way`` of ``set_index``."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Return the way to evict from a full ``set_index``."""
+
+    def fill(self, set_index: int, way: int) -> None:
+        """Record that ``way`` was (re)filled; defaults to a touch."""
+        self.touch(set_index, way)
+
+    def invalidate(self, set_index: int, way: int) -> None:  # noqa: B027
+        """Forget state for a removed line (optional)."""
+
+    def reset(self) -> None:
+        """Restore the just-constructed state."""
+        self.__init__(self.num_sets, self.ways)  # type: ignore[misc]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via a per-(set, way) timestamp matrix."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        # Timestamps start negative so untouched ways lose to any touched way.
+        self._stamp = np.full((num_sets, ways), -1, dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index, way] = self._clock
+
+    def victim(self, set_index: int) -> int:
+        return int(np.argmin(self._stamp[set_index]))
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._stamp[set_index, way] = -1
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: only fills advance a line's age."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._stamp = np.full((num_sets, ways), -1, dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, set_index: int, way: int) -> None:
+        # Hits do not reorder a FIFO queue.
+        pass
+
+    def fill(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index, way] = self._clock
+
+    def victim(self, set_index: int) -> int:
+        return int(np.argmin(self._stamp[set_index]))
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._stamp[set_index, way] = -1
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim with an explicit seed for reproducibility."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0):
+        super().__init__(num_sets, ways)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return int(self._rng.integers(self.ways))
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the common hardware LRU approximation.
+
+    Requires ``ways`` to be a power of two.  Each set keeps ``ways - 1``
+    internal tree bits; a touch flips the bits along the path *away* from the
+    touched way, and the victim walk follows the bits.
+    """
+
+    name = "plru"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        if ways & (ways - 1):
+            raise ValueError("PLRU requires a power-of-two way count")
+        self._levels = max(ways.bit_length() - 1, 0)
+        self._bits = np.zeros((num_sets, max(ways - 1, 1)), dtype=np.uint8)
+
+    def touch(self, set_index: int, way: int) -> None:
+        node = 0
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            # Point the node away from the touched child.
+            self._bits[set_index, node] = 1 - bit
+            node = 2 * node + 1 + bit
+
+    def victim(self, set_index: int) -> int:
+        node = 0
+        way = 0
+        for _ in range(self._levels):
+            bit = int(self._bits[set_index, node])
+            way = (way << 1) | bit
+            node = 2 * node + 1 + bit
+        return way
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the most-recently-used line (useful for streaming workloads)."""
+
+    name = "mru"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._stamp = np.full((num_sets, ways), -1, dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index, way] = self._clock
+
+    def victim(self, set_index: int) -> int:
+        stamps = self._stamp[set_index]
+        untouched = np.flatnonzero(stamps < 0)
+        if untouched.size:
+            # Prefer filling never-used ways before evicting the MRU one.
+            return int(untouched[0])
+        return int(np.argmax(stamps))
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._stamp[set_index, way] = -1
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least-frequently-used line; ties break toward lower ways."""
+
+    name = "lfu"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._count = np.zeros((num_sets, ways), dtype=np.int64)
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._count[set_index, way] += 1
+
+    def fill(self, set_index: int, way: int) -> None:
+        self._count[set_index, way] = 1
+
+    def victim(self, set_index: int) -> int:
+        return int(np.argmin(self._count[set_index]))
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._count[set_index, way] = 0
+
+
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    cls.name: cls
+    for cls in (LRUPolicy, FIFOPolicy, RandomPolicy, PLRUPolicy, MRUPolicy, LFUPolicy)
+}
+
+
+def make_policy(name: str, num_sets: int, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by registry name (see :data:`POLICIES`)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown replacement policy {name!r}; known: {sorted(POLICIES)}") from None
+    if cls is RandomPolicy:
+        return RandomPolicy(num_sets, ways, seed=seed)
+    return cls(num_sets, ways)

@@ -1,0 +1,117 @@
+"""Per-application indexing-scheme selection (the paper's Figure 5).
+
+The paper proposes profiling each application off-line against the candidate
+indexing schemes and programming the chosen one into the cache before the
+application runs (conventional indexing as the default).  This module is
+that selector: :func:`profile_schemes` scores every candidate on a profiling
+trace with the vectorised simulator, :class:`SchemeSelector` caches the
+per-application choice, and :class:`ThreadSchemeTable` carries per-thread
+assignments into the SMT experiments (Figure 13 uses it with odd-multiplier
+variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.event import Trace
+from .address import CacheGeometry
+from .indexing.base import IndexingScheme, TrainableIndexingScheme, make_scheme
+from .simulator import simulate_indexing
+
+__all__ = ["SchemeScore", "profile_schemes", "SchemeSelector", "ThreadSchemeTable"]
+
+
+@dataclass(frozen=True)
+class SchemeScore:
+    scheme_name: str
+    misses: int
+    miss_rate: float
+    reduction_vs_baseline_pct: float
+
+
+def _instantiate(spec, geometry: CacheGeometry) -> IndexingScheme:
+    """Accept a scheme instance, a name, or a (name, kwargs) pair."""
+    if isinstance(spec, IndexingScheme):
+        return spec
+    if isinstance(spec, str):
+        return make_scheme(spec, geometry)
+    name, kwargs = spec
+    return make_scheme(name, geometry, **kwargs)
+
+
+def profile_schemes(
+    trace: Trace,
+    geometry: CacheGeometry,
+    candidates: list,
+    baseline: str = "modulo",
+    train_on: Trace | None = None,
+) -> list[SchemeScore]:
+    """Score candidate schemes on ``trace``; best (fewest misses) first.
+
+    Trainable schemes are fitted on ``train_on`` (default: the evaluation
+    trace itself, matching the paper's whole-run profiling).
+    """
+    base_scheme = make_scheme(baseline, geometry)
+    base = simulate_indexing(base_scheme, trace, geometry)
+    scores: list[SchemeScore] = []
+    fit_trace = train_on if train_on is not None else trace
+    for spec in candidates:
+        scheme = _instantiate(spec, geometry)
+        if isinstance(scheme, TrainableIndexingScheme) and not scheme.fitted:
+            scheme.fit(fit_trace.addresses)
+        res = simulate_indexing(scheme, trace, geometry)
+        reduction = (
+            100.0 * (base.misses - res.misses) / base.misses if base.misses else 0.0
+        )
+        scores.append(SchemeScore(scheme.name, res.misses, res.miss_rate, reduction))
+    scores.sort(key=lambda s: s.misses)
+    return scores
+
+
+class SchemeSelector:
+    """Profile-once, reuse-forever scheme choice per application name."""
+
+    def __init__(self, geometry: CacheGeometry, candidates: list, baseline: str = "modulo"):
+        self.geometry = geometry
+        self.candidates = candidates
+        self.baseline = baseline
+        self._choices: dict[str, SchemeScore] = {}
+
+    def choose(self, trace: Trace) -> SchemeScore:
+        """Best scheme for this application; only accepts improvements over
+        the baseline (otherwise the conventional default is kept, as the
+        paper prescribes)."""
+        key = trace.name
+        if key not in self._choices:
+            scores = profile_schemes(trace, self.geometry, self.candidates, self.baseline)
+            best = scores[0]
+            if best.reduction_vs_baseline_pct <= 0.0:
+                base = simulate_indexing(make_scheme(self.baseline, self.geometry), trace)
+                best = SchemeScore(self.baseline, base.misses, base.miss_rate, 0.0)
+            self._choices[key] = best
+        return self._choices[key]
+
+    @property
+    def choices(self) -> dict[str, SchemeScore]:
+        return dict(self._choices)
+
+
+class ThreadSchemeTable:
+    """Per-thread indexing assignment for the SMT cache (paper Figure 13)."""
+
+    def __init__(self, schemes: list[IndexingScheme]):
+        if not schemes:
+            raise ValueError("need at least one per-thread scheme")
+        num_sets = {s.geometry.num_sets for s in schemes}
+        if len(num_sets) != 1:
+            raise ValueError("all per-thread schemes must target the same cache")
+        self.schemes = list(schemes)
+
+    def scheme_for(self, thread: int) -> IndexingScheme:
+        if not 0 <= thread < len(self.schemes):
+            raise IndexError(f"no scheme registered for thread {thread}")
+        return self.schemes[thread]
+
+    def __len__(self) -> int:
+        return len(self.schemes)

@@ -1,0 +1,192 @@
+"""Uniformity metrics over per-set distributions (paper Sections IV.C/D).
+
+The paper quantifies access non-uniformity three ways, all reproduced here:
+
+* the *prose* statistics of Figure 1 ("90.43% of sets get less than half the
+  average accesses, 6.641% get twice the average") —
+  :func:`half_double_buckets`;
+* Zhang's categorical split into Frequently-Hit / Frequently-Missed /
+  Least-Accessed sets — :func:`zhang_classification`;
+* distribution-shape moments — *skewness* (third standardised moment) and
+  *kurtosis* (fourth) of the per-set count distribution —
+  :func:`distribution_moments`.  Following the paper's reading ("a uniform
+  distribution would be the extreme case with zero kurtosis"), kurtosis is
+  reported in *excess* form and clamped nonnegative-at-uniformity is **not**
+  applied: a perfectly flat distribution reports its true excess kurtosis.
+  Both moments are population (biased) moments, cross-checked against
+  ``scipy.stats`` in the test-suite.
+
+Figures 9-12 plot *percentage increase* of these moments versus the
+conventional baseline; :func:`percent_increase` implements that with an
+epsilon guard because the paper's own charts show the blow-ups a near-zero
+baseline causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "distribution_moments",
+    "skewness",
+    "kurtosis",
+    "percent_increase",
+    "percent_reduction",
+    "zhang_classification",
+    "half_double_buckets",
+    "gini_coefficient",
+    "normalized_entropy",
+    "UniformityReport",
+    "uniformity_report",
+]
+
+
+def distribution_moments(counts: np.ndarray) -> tuple[float, float, float, float]:
+    """(mean, std, skewness, excess kurtosis) of a count vector."""
+    x = np.asarray(counts, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("empty distribution")
+    mean = float(x.mean())
+    dev = x - mean
+    m2 = float(np.mean(dev**2))
+    if m2 == 0.0:
+        # Degenerate (all-equal) distribution: zero spread, define shape as 0.
+        return mean, 0.0, 0.0, 0.0
+    m3 = float(np.mean(dev**3))
+    m4 = float(np.mean(dev**4))
+    return mean, m2**0.5, m3 / m2**1.5, m4 / m2**2 - 3.0
+
+
+def skewness(counts: np.ndarray) -> float:
+    return distribution_moments(counts)[2]
+
+
+def kurtosis(counts: np.ndarray) -> float:
+    """Excess kurtosis (normal = 0; flat/uniform ≈ -1.2; spiky ≫ 0)."""
+    return distribution_moments(counts)[3]
+
+
+def percent_increase(value: float, baseline: float, eps: float = 1e-12) -> float:
+    """100 · (value - baseline) / |baseline|, guarded against ~0 baselines.
+
+    Figures 9-12 plot this for moments; the guard returns ±inf-capped large
+    values the same way the paper's near-zero baselines produced extreme
+    bars (e.g. -5e8% in its Figure 4).
+    """
+    if abs(baseline) < eps:
+        if abs(value) < eps:
+            return 0.0
+        return float(np.sign(value - baseline)) * 1e9
+    return 100.0 * (value - baseline) / abs(baseline)
+
+
+def percent_reduction(value: float, baseline: float, eps: float = 1e-12) -> float:
+    """100 · (baseline - value) / baseline — the paper's miss-rate metric.
+
+    Positive = improvement.  A zero baseline with a nonzero value mirrors
+    the paper's huge negative bars.
+    """
+    if abs(baseline) < eps:
+        if abs(value) < eps:
+            return 0.0
+        return -1e9
+    return 100.0 * (baseline - value) / baseline
+
+
+def zhang_classification(
+    accesses: np.ndarray, hits: np.ndarray, misses: np.ndarray
+) -> dict[str, float]:
+    """Zhang's FHS/FMS/LAS percentages (paper Section IV.C).
+
+    FHS: sets with ≥ 2× the average hits; FMS: ≥ 2× the average misses;
+    LAS: < half the average accesses.  Returned as percentages of all sets.
+    """
+    accesses = np.asarray(accesses, dtype=np.float64)
+    hits = np.asarray(hits, dtype=np.float64)
+    misses = np.asarray(misses, dtype=np.float64)
+    n = accesses.size
+    if n == 0:
+        raise ValueError("empty per-set arrays")
+    fhs = float((hits >= 2.0 * hits.mean()).sum()) if hits.mean() > 0 else 0.0
+    fms = float((misses >= 2.0 * misses.mean()).sum()) if misses.mean() > 0 else 0.0
+    las = float((accesses < 0.5 * accesses.mean()).sum())
+    return {"FHS%": 100.0 * fhs / n, "FMS%": 100.0 * fms / n, "LAS%": 100.0 * las / n}
+
+
+def half_double_buckets(counts: np.ndarray) -> tuple[float, float]:
+    """(%, %) of sets below half and at/above double the average count —
+    the Figure-1 prose statistics."""
+    x = np.asarray(counts, dtype=np.float64)
+    avg = x.mean()
+    if avg == 0:
+        return 100.0, 0.0
+    below = 100.0 * float((x < 0.5 * avg).sum()) / x.size
+    above = 100.0 * float((x >= 2.0 * avg).sum()) / x.size
+    return below, above
+
+
+def gini_coefficient(counts: np.ndarray) -> float:
+    """0 = perfectly uniform, →1 = all accesses on one set."""
+    x = np.sort(np.asarray(counts, dtype=np.float64))
+    n = x.size
+    total = x.sum()
+    if total == 0:
+        return 0.0
+    cum = np.cumsum(x)
+    # Standard discrete Gini over a sorted sample.
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def normalized_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of the count distribution over log(n): 1 = uniform."""
+    x = np.asarray(counts, dtype=np.float64)
+    total = x.sum()
+    if total == 0 or x.size < 2:
+        return 1.0
+    p = x / total
+    nz = p[p > 0]
+    h = float(-(nz * np.log(nz)).sum())
+    return h / float(np.log(x.size))
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """All uniformity metrics for one per-set distribution."""
+
+    mean: float
+    std: float
+    skewness: float
+    kurtosis: float
+    gini: float
+    entropy: float
+    below_half_pct: float
+    above_double_pct: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "skewness": self.skewness,
+            "kurtosis": self.kurtosis,
+            "gini": self.gini,
+            "entropy": self.entropy,
+            "below_half_pct": self.below_half_pct,
+            "above_double_pct": self.above_double_pct,
+        }
+
+
+def uniformity_report(counts: np.ndarray) -> UniformityReport:
+    mean, std, skew, kurt = distribution_moments(counts)
+    below, above = half_double_buckets(counts)
+    return UniformityReport(
+        mean=mean,
+        std=std,
+        skewness=skew,
+        kurtosis=kurt,
+        gini=gini_coefficient(counts),
+        entropy=normalized_entropy(counts),
+        below_half_pct=below,
+        above_double_pct=above,
+    )

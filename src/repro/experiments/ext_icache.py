@@ -1,0 +1,99 @@
+"""Extension experiment: instruction-cache conflicts and their remedies.
+
+The paper's introduction reviews Liang & Mitra's procedure placement ([16])
+as the software-side answer to the same non-uniformity problem its own
+techniques attack in hardware.  This experiment puts both on one axis: a
+synthetic program (Zipf-hot procedures, phased call locality) is run
+against the paper's L1 geometry as an *instruction* cache, comparing
+
+* the natural (link-order) layout — the baseline,
+* the same layout under XOR / prime-modulo indexing (hardware fixes),
+* the IBP-style optimised placement under conventional indexing (the
+  software fix from [16]),
+* and placement + XOR together.
+
+Columns are % reduction in I-cache misses vs the natural layout.
+"""
+
+from __future__ import annotations
+
+from ..core.indexing import ModuloIndexing, PrimeModuloIndexing, XorIndexing
+from ..core.simulator import simulate_indexing
+from ..core.uniformity import percent_reduction
+from ..icache import (
+    CallProfile,
+    CodeLayout,
+    Procedure,
+    generate_itrace,
+    optimize_placement,
+    synthetic_call_sequence,
+)
+from .config import PaperConfig
+from .report import ExperimentResult
+from .runner import register_experiment
+
+__all__ = ["run_ext_icache", "build_program"]
+
+
+def build_program(seed: int, n_procs: int = 24):
+    """A synthetic program: procedure sizes from a few hundred bytes to a
+    few KiB (libc-ish), hot loops covering part of each body."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    procs = [
+        Procedure(
+            name=f"fn{i:02d}",
+            size_bytes=int(rng.integers(256, 6144)),
+            body_coverage=float(rng.uniform(0.4, 1.0)),
+        )
+        for i in range(n_procs)
+    ]
+    layout = CodeLayout(procs)
+    calls = synthetic_call_sequence([p.name for p in procs], length=3000, seed=seed)
+    profile = CallProfile().record_sequence(calls, window=2)
+    return layout, calls, profile
+
+
+@register_experiment("ext-icache")
+def run_ext_icache(config: PaperConfig) -> ExperimentResult:
+    g = config.geometry  # the paper's L1I is the same 32 KiB direct-mapped shape
+    result = ExperimentResult(
+        experiment_id="ext-icache",
+        title="% reduction in L1I misses vs natural layout (HW hashing vs SW placement)",
+        columns=["XOR", "Prime_Modulo", "Placement", "Placement+XOR"],
+    )
+    for seed in (1, 2, 3):
+        layout, calls, profile = build_program(config.seed + seed)
+        trace = generate_itrace(layout, calls, line_bytes=g.line_bytes, loop_iterations=2)
+        base = simulate_indexing(ModuloIndexing(g), trace, g)
+        row = {
+            "XOR": percent_reduction(
+                simulate_indexing(XorIndexing(g), trace, g).misses, base.misses
+            ),
+            "Prime_Modulo": percent_reduction(
+                simulate_indexing(PrimeModuloIndexing(g), trace, g).misses, base.misses
+            ),
+        }
+        optimised, cost_before, cost_after = optimize_placement(layout, profile, g)
+        opt_trace = generate_itrace(
+            optimised, calls, line_bytes=g.line_bytes, loop_iterations=2
+        )
+        row["Placement"] = percent_reduction(
+            simulate_indexing(ModuloIndexing(g), opt_trace, g).misses, base.misses
+        )
+        row["Placement+XOR"] = percent_reduction(
+            simulate_indexing(XorIndexing(g), opt_trace, g).misses, base.misses
+        )
+        result.add_row(f"program{seed}", row)
+        result.arrays[f"program{seed}/overlap_before"] = cost_before
+        result.arrays[f"program{seed}/overlap_after"] = cost_after
+    result.add_average_row()
+    result.note("Placement = greedy IBP-style displacement selection ([16] in the paper)")
+    result.note(
+        "hashing barely moves I-cache misses: procedure bodies are contiguous, "
+        "and XOR-by-a-constant nearly preserves the set intersection of two "
+        "contiguous ranges — code conflicts need *placement*, not hashing, "
+        "which is why [16] is a software technique"
+    )
+    return result

@@ -1,0 +1,66 @@
+"""Figure 4 — % reduction in miss rate for the indexing schemes.
+
+For each MiBench benchmark: XOR, odd-multiplier, prime-modulo, Givargis and
+Givargis-XOR indexing versus the conventional direct-mapped baseline.
+Positive bars = fewer misses.  Paper shape: mixed signs everywhere, no
+universal winner, Givargis worst on average (with catastrophic regressions
+whose baselines are near zero — their -5e8% bar for susan).
+"""
+
+from __future__ import annotations
+
+from ..core.simulator import simulate_indexing
+from ..core.uniformity import percent_reduction
+from ..workloads.mibench import MIBENCH_ORDER
+from .config import PaperConfig
+from .report import ExperimentResult
+from .runner import (
+    baseline_result,
+    indexing_lineup,
+    profile_trace,
+    register_experiment,
+    workload_trace,
+)
+
+__all__ = ["run_fig04", "INDEXING_COLUMNS"]
+
+INDEXING_COLUMNS = ["XOR", "Odd_Multiplier", "Prime_Modulo", "Givargis", "Givargis_Xor"]
+
+
+_CACHE: dict[tuple, ExperimentResult] = {}
+
+
+@register_experiment("fig4")
+def run_fig04(config: PaperConfig) -> ExperimentResult:
+    # Figures 9/10 reuse this sweep's per-set arrays; cache one config.
+    key = (config.ref_limit, config.seed, config.workload_scale, config.odd_multiplier)
+    if key in _CACHE:
+        return _CACHE[key]
+    result = _run_fig04(config)
+    _CACHE.clear()
+    _CACHE[key] = result
+    return result
+
+
+def _run_fig04(config: PaperConfig) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="% reduction in miss rate, indexing schemes vs conventional",
+        columns=INDEXING_COLUMNS,
+    )
+    for bench in MIBENCH_ORDER:
+        trace = workload_trace(bench, config)
+        base = baseline_result(trace, config)
+        schemes = indexing_lineup(
+            config.geometry, trace, config, train_trace=profile_trace(bench, config)
+        )
+        row = {}
+        for label, scheme in schemes.items():
+            sim = simulate_indexing(scheme, trace, config.geometry)
+            row[label] = percent_reduction(sim.misses, base.misses)
+            result.arrays[f"{bench}/{label}/misses_per_set"] = sim.slot_misses
+        result.arrays[f"{bench}/baseline/misses_per_set"] = base.slot_misses
+        result.add_row(bench, row)
+    result.add_average_row()
+    result.note("paper shape: mixed signs, no universal winner, Givargis worst average")
+    return result

@@ -1,0 +1,150 @@
+"""Experiment registry and shared plumbing.
+
+Each figure module registers a runner ``(PaperConfig) -> ExperimentResult``
+under its id ("fig1" ... "fig14").  This module adds the pieces they share:
+cached workload traces, fitted trainable schemes, the standard scheme and
+cache-model line-ups, and the sequential-simulation helper with the
+geometry's paper defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.address import CacheGeometry
+from ..core.caches import (
+    AdaptiveGroupAssociativeCache,
+    BalancedCache,
+    ColumnAssociativeCache,
+    DirectMappedCache,
+)
+from ..core.indexing import (
+    GivargisIndexing,
+    GivargisXorIndexing,
+    IndexingScheme,
+    ModuloIndexing,
+    OddMultiplierIndexing,
+    PrimeModuloIndexing,
+    XorIndexing,
+)
+from ..core.simulator import SimulationResult, simulate, simulate_indexing
+from ..trace.event import Trace
+from ..trace.io import TraceCache
+from ..workloads import get_workload
+from .config import PaperConfig
+from .report import ExperimentResult
+
+__all__ = [
+    "register_experiment",
+    "run_experiment",
+    "available_experiments",
+    "EXPERIMENT_REGISTRY",
+    "workload_trace",
+    "indexing_lineup",
+    "progassoc_lineup",
+    "baseline_result",
+]
+
+EXPERIMENT_REGISTRY: dict[str, Callable[[PaperConfig], ExperimentResult]] = {}
+
+
+def register_experiment(experiment_id: str):
+    """Decorator: register ``runner`` under ``experiment_id``."""
+
+    def decorator(fn: Callable[[PaperConfig], ExperimentResult]):
+        if experiment_id in EXPERIMENT_REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENT_REGISTRY[experiment_id] = fn
+        return fn
+
+    return decorator
+
+
+def run_experiment(experiment_id: str, config: PaperConfig | None = None) -> ExperimentResult:
+    config = config or PaperConfig()
+    try:
+        fn = EXPERIMENT_REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENT_REGISTRY)}"
+        ) from None
+    return fn(config)
+
+
+def available_experiments() -> list[str]:
+    def key(eid: str) -> tuple:
+        digits = "".join(ch for ch in eid if ch.isdigit())
+        return (int(digits) if digits else 0, eid)
+
+    return sorted(EXPERIMENT_REGISTRY, key=key)
+
+
+# -- shared plumbing ---------------------------------------------------------------
+
+
+def workload_trace(
+    name: str, config: PaperConfig, thread: int = 0, seed: int | None = None
+) -> Trace:
+    """Workload trace via the on-disk cache (keyed by all generation knobs)."""
+    cache = TraceCache(config.trace_cache_dir)
+    seed = config.seed if seed is None else seed
+    key = TraceCache.key_for(
+        name, seed=seed, limit=config.ref_limit, scale=config.workload_scale
+    )
+    trace = cache.get_or_create(
+        key,
+        lambda: get_workload(name).generate(
+            seed=seed, ref_limit=config.ref_limit, scale=config.workload_scale
+        ),
+    )
+    return trace.with_name(name)
+
+
+def profile_trace(name: str, config: PaperConfig) -> Trace:
+    """The off-line profiling run used to fit trainable schemes (Figure-5
+    flow): same workload, a different input seed."""
+    if config.profile_seed_offset == 0:
+        return workload_trace(name, config)
+    return workload_trace(name, config, seed=config.seed + config.profile_seed_offset)
+
+
+def indexing_lineup(
+    geometry: CacheGeometry, trace: Trace, config: PaperConfig, train_trace: Trace | None = None
+) -> dict[str, IndexingScheme]:
+    """The paper's Figure-4 scheme line-up.
+
+    Trainable schemes are fitted on ``train_trace`` (the profiling run) when
+    given, else on the evaluation trace itself.
+    """
+    fit_addrs = (train_trace if train_trace is not None else trace).addresses
+    return {
+        "XOR": XorIndexing(geometry),
+        "Odd_Multiplier": OddMultiplierIndexing(geometry, config.odd_multiplier),
+        "Prime_Modulo": PrimeModuloIndexing(geometry),
+        "Givargis": GivargisIndexing(geometry).fit(fit_addrs),
+        "Givargis_Xor": GivargisXorIndexing(geometry).fit(fit_addrs),
+    }
+
+
+def progassoc_lineup(config: PaperConfig) -> dict[str, Callable[[], object]]:
+    """Factories for the paper's Figure-6 cache line-up (fresh per trace)."""
+    g = config.geometry
+    return {
+        "Adaptive_Cache": lambda: AdaptiveGroupAssociativeCache(
+            g, sht_fraction=config.sht_fraction, out_fraction=config.out_fraction
+        ),
+        "B_Cache": lambda: BalancedCache(
+            g, mapping_factor=config.bcache_mapping_factor, bas=config.bcache_bas
+        ),
+        "Column_associative": lambda: ColumnAssociativeCache(g),
+    }
+
+
+def baseline_result(trace: Trace, config: PaperConfig) -> SimulationResult:
+    """The conventional direct-mapped baseline (vectorised)."""
+    return simulate_indexing(ModuloIndexing(config.geometry), trace, config.geometry)
+
+
+def sequential_baseline(trace: Trace, config: PaperConfig) -> SimulationResult:
+    """Sequential baseline (used where lookup-cycle accounting is needed)."""
+    return simulate(DirectMappedCache(config.geometry), trace)

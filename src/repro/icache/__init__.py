@@ -1,0 +1,16 @@
+"""Instruction-cache side: code layout, I-fetch trace generation, and the
+procedure-placement optimisation the paper discusses (its reference [16])."""
+
+from .code import CallProfile, CodeLayout, Procedure
+from .generator import generate_itrace, synthetic_call_sequence
+from .placement import optimize_placement, weighted_overlap_cost
+
+__all__ = [
+    "Procedure",
+    "CodeLayout",
+    "CallProfile",
+    "generate_itrace",
+    "synthetic_call_sequence",
+    "optimize_placement",
+    "weighted_overlap_cost",
+]

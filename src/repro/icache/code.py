@@ -1,0 +1,137 @@
+"""Code-layout model for instruction-cache studies.
+
+The paper's introduction spends two paragraphs on Liang & Mitra's procedure
+placement ([16]): conflict misses in instruction caches come from *hot
+procedures whose code ranges alias*, and moving procedures (inserting
+displacement) removes them.  To study that here we need the instruction
+side of the house:
+
+* a :class:`Procedure` — a named contiguous code range;
+* a :class:`CodeLayout` — the link-time placement: procedure → start
+  address, with sequential (natural) layout as the default and arbitrary
+  re-placement supported;
+* a :class:`CallProfile` — the dynamic side: how often each procedure runs
+  and which procedures are *temporally adjacent* (caller/callee or
+  ping-ponging phases), which is exactly the information Liang's
+  intermediate-blocks profile summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Procedure", "CodeLayout", "CallProfile"]
+
+#: Default text-segment base (mirrors the data-side SegmentLayout style).
+TEXT_BASE = 0x0040_11C0
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A procedure's static properties."""
+
+    name: str
+    size_bytes: int
+    #: Fraction of the body executed per invocation (hot loops revisit a
+    #: prefix; 1.0 = straight-line through the whole body).
+    body_coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("procedure size must be positive")
+        if not 0.0 < self.body_coverage <= 1.0:
+            raise ValueError("body_coverage must be in (0, 1]")
+
+
+class CodeLayout:
+    """Placement of procedures in the text segment."""
+
+    def __init__(self, procedures: list[Procedure], base: int = TEXT_BASE, align: int = 16):
+        if not procedures:
+            raise ValueError("need at least one procedure")
+        names = [p.name for p in procedures]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate procedure names")
+        self.procedures = {p.name: p for p in procedures}
+        self.base = base
+        self.align = align
+        self._starts: dict[str, int] = {}
+        self.place_sequentially()
+
+    # -- placement -------------------------------------------------------------
+
+    def place_sequentially(self, order: list[str] | None = None) -> None:
+        """Natural link order: procedures back to back (the baseline)."""
+        cursor = self.base
+        for name in order or list(self.procedures):
+            proc = self.procedures[name]
+            cursor = -(-cursor // self.align) * self.align
+            self._starts[name] = cursor
+            cursor += proc.size_bytes
+
+    def place_at(self, name: str, start: int) -> None:
+        """Explicit placement (the optimiser's output)."""
+        if name not in self.procedures:
+            raise KeyError(name)
+        self._starts[name] = -(-start // self.align) * self.align
+
+    def start_of(self, name: str) -> int:
+        return self._starts[name]
+
+    def end_of(self, name: str) -> int:
+        return self._starts[name] + self.procedures[name].size_bytes
+
+    def total_span(self) -> int:
+        return max(self.end_of(n) for n in self.procedures) - self.base
+
+    def blocks_of(self, name: str, line_bytes: int) -> np.ndarray:
+        """Block addresses the procedure's body occupies."""
+        start = self.start_of(name)
+        end = self.end_of(name)
+        first = start // line_bytes
+        last = (end - 1) // line_bytes
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def overlaps(self) -> list[tuple[str, str]]:
+        """Physically overlapping procedure pairs (placement bugs)."""
+        spans = sorted(
+            (self.start_of(n), self.end_of(n), n) for n in self.procedures
+        )
+        bad = []
+        for (s1, e1, n1), (s2, e2, n2) in zip(spans, spans[1:]):
+            if s2 < e1:
+                bad.append((n1, n2))
+        return bad
+
+
+@dataclass
+class CallProfile:
+    """Dynamic call behaviour: invocation counts and temporal adjacency."""
+
+    #: procedure -> number of invocations.
+    calls: dict[str, int] = field(default_factory=dict)
+    #: (a, b) -> how often an invocation of a is followed closely by b.
+    adjacency: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record_sequence(self, sequence: list[str], window: int = 1) -> "CallProfile":
+        """Build the profile from an observed call sequence."""
+        for name in sequence:
+            self.calls[name] = self.calls.get(name, 0) + 1
+        for i, a in enumerate(sequence):
+            for j in range(i + 1, min(i + 1 + window, len(sequence))):
+                b = sequence[j]
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                self.adjacency[key] = self.adjacency.get(key, 0) + 1
+        return self
+
+    def hot_order(self) -> list[str]:
+        """Procedures by heat, hottest first (the optimiser's work order)."""
+        return sorted(self.calls, key=self.calls.__getitem__, reverse=True)
+
+    def weight(self, a: str, b: str) -> int:
+        key = (a, b) if a < b else (b, a)
+        return self.adjacency.get(key, 0)

@@ -1,0 +1,102 @@
+"""Cache-conscious procedure placement (after Liang & Mitra, the paper's
+reference [16]).
+
+The paper summarises the algorithm: "the algorithm iterates through all the
+hot procedures and selects the displacement value that yields the highest
+benefit".  This module implements that greedy scheme against our cache
+model directly:
+
+* procedures are processed hottest-first (the :class:`CallProfile` order);
+* each procedure tries every candidate displacement (cache-line granular
+  start offsets within one cache-capacity window appended after the already
+  placed code);
+* the benefit of a displacement is the reduction in *weighted set overlap*
+  with already-placed procedures, where the weight of a pair is their
+  temporal adjacency count — temporally interleaved procedures sharing sets
+  are exactly the conflict misses;
+* the chosen displacement is committed and the next procedure is placed.
+
+``optimize_placement`` mutates a copy of the layout and returns it along
+with the before/after overlap costs; the ``ext-icache`` experiment measures
+the actual I-cache miss reduction it buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.address import CacheGeometry
+from .code import CallProfile, CodeLayout
+
+__all__ = ["weighted_overlap_cost", "optimize_placement"]
+
+
+def _set_vector(layout: CodeLayout, name: str, geometry: CacheGeometry) -> np.ndarray:
+    """Which cache sets the procedure's body occupies (multiplicity kept)."""
+    blocks = layout.blocks_of(name, geometry.line_bytes)
+    return blocks % geometry.num_sets
+
+
+def weighted_overlap_cost(
+    layout: CodeLayout, profile: CallProfile, geometry: CacheGeometry
+) -> float:
+    """Σ over procedure pairs of adjacency-weight × shared-set count."""
+    names = list(layout.procedures)
+    sets = {n: set(_set_vector(layout, n, geometry).tolist()) for n in names}
+    cost = 0.0
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            w = profile.weight(a, b)
+            if w:
+                cost += w * len(sets[a] & sets[b])
+    return cost
+
+
+def optimize_placement(
+    layout: CodeLayout,
+    profile: CallProfile,
+    geometry: CacheGeometry,
+    candidates_per_proc: int = 64,
+) -> tuple[CodeLayout, float, float]:
+    """Greedy hottest-first re-placement.
+
+    Returns ``(new_layout, cost_before, cost_after)``.  The new layout packs
+    procedures in heat order, each at the candidate offset (line-granular,
+    within one cache capacity of the pack cursor) minimising its weighted
+    overlap with everything already placed — inserting gaps (displacement)
+    exactly where they pay, as [16] describes.
+    """
+    cost_before = weighted_overlap_cost(layout, profile, geometry)
+    procs = [layout.procedures[n] for n in profile.hot_order() if n in layout.procedures]
+    # Cold procedures (never called) keep relative order at the end.
+    procs += [p for n, p in layout.procedures.items() if n not in profile.calls]
+
+    new = CodeLayout(list(layout.procedures.values()), base=layout.base, align=layout.align)
+    placed: list[str] = []
+    placed_sets: dict[str, set[int]] = {}
+    cursor = layout.base
+    line = geometry.line_bytes
+    for proc in procs:
+        best_start, best_cost = cursor, None
+        step = max(line, (geometry.capacity_bytes // candidates_per_proc) // line * line)
+        for k in range(candidates_per_proc):
+            start = cursor + k * step
+            first = start // line
+            last = (start + proc.size_bytes - 1) // line
+            sets = set((np.arange(first, last + 1) % geometry.num_sets).tolist())
+            cost = sum(
+                profile.weight(proc.name, other) * len(sets & placed_sets[other])
+                for other in placed
+            )
+            if best_cost is None or cost < best_cost:
+                best_start, best_cost = start, cost
+            if cost == 0:
+                break
+        new.place_at(proc.name, best_start)
+        placed.append(proc.name)
+        placed_sets[proc.name] = set(
+            _set_vector(new, proc.name, geometry).tolist()
+        )
+        cursor = max(cursor, new.end_of(proc.name))
+    cost_after = weighted_overlap_cost(new, profile, geometry)
+    return new, cost_before, cost_after

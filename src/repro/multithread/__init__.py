@@ -1,0 +1,19 @@
+"""Multithreaded (SMT) cache models for the paper's Section IV.E."""
+
+from .partitioned import (
+    PartitionedAdaptiveCache,
+    PartitionedResult,
+    StaticPartitionedCache,
+    simulate_partitioned,
+)
+from .smt import SMTResult, SMTSharedCache, simulate_smt
+
+__all__ = [
+    "SMTSharedCache",
+    "SMTResult",
+    "simulate_smt",
+    "StaticPartitionedCache",
+    "PartitionedAdaptiveCache",
+    "PartitionedResult",
+    "simulate_partitioned",
+]

@@ -1,0 +1,50 @@
+"""Trace infrastructure: events, the modelled address space, recorders,
+synthetic stressors, persistence and SMT interleaving."""
+
+from .event import MemoryAccess, Trace, TraceBuilder
+from .interleave import block_interleave, random_interleave, round_robin
+from .io import TraceCache, load_din, load_npz, save_din, save_npz
+from .memory import AddressSpace, Array, SegmentLayout, StackFrame
+from .recorder import Recorder, TraceComplete, record
+from .stats import TraceSummary, reuse_distances, stride_histogram, summarize
+from .synth import (
+    hot_set_trace,
+    ping_pong_trace,
+    pointer_chase_trace,
+    sequential_sweep,
+    strided_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "Trace",
+    "TraceBuilder",
+    "MemoryAccess",
+    "AddressSpace",
+    "Array",
+    "StackFrame",
+    "SegmentLayout",
+    "Recorder",
+    "TraceComplete",
+    "record",
+    "round_robin",
+    "random_interleave",
+    "block_interleave",
+    "save_npz",
+    "load_npz",
+    "save_din",
+    "load_din",
+    "TraceCache",
+    "TraceSummary",
+    "summarize",
+    "stride_histogram",
+    "reuse_distances",
+    "uniform_trace",
+    "sequential_sweep",
+    "strided_trace",
+    "zipf_trace",
+    "hot_set_trace",
+    "pointer_chase_trace",
+    "ping_pong_trace",
+]

@@ -1,0 +1,186 @@
+"""Memory-reference traces.
+
+A :class:`Trace` is the package's universal currency: workloads produce one,
+the simulator consumes one.  Internally it is a struct-of-arrays —
+``addresses`` (uint64 byte addresses), ``is_write`` (bool) and ``thread``
+(int16) — because the simulator's fast paths are vectorised and a list of
+event objects would defeat them (see the HPC guides: keep hot data in NumPy,
+loop in C).
+
+Traces are immutable once built; construction goes through either the array
+constructor or :class:`TraceBuilder`, which buffers appends in chunks to
+avoid quadratic growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["Trace", "TraceBuilder", "MemoryAccess"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One reference, for readable iteration and tests (not the hot path)."""
+
+    address: int
+    is_write: bool = False
+    thread: int = 0
+
+
+class Trace:
+    """An immutable sequence of memory references."""
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        is_write: np.ndarray | None = None,
+        thread: np.ndarray | None = None,
+        name: str = "",
+        meta: dict[str, Any] | None = None,
+    ):
+        addresses = np.ascontiguousarray(addresses, dtype=np.uint64)
+        if addresses.ndim != 1:
+            raise ValueError("addresses must be 1-D")
+        n = addresses.size
+        if is_write is None:
+            is_write = np.zeros(n, dtype=bool)
+        else:
+            is_write = np.ascontiguousarray(is_write, dtype=bool)
+        if thread is None:
+            thread = np.zeros(n, dtype=np.int16)
+        else:
+            thread = np.ascontiguousarray(thread, dtype=np.int16)
+        if is_write.shape != (n,) or thread.shape != (n,):
+            raise ValueError("is_write/thread length must match addresses")
+        self.addresses = addresses
+        self.is_write = is_write
+        self.thread = thread
+        self.name = name
+        self.meta = dict(meta or {})
+        for arr in (self.addresses, self.is_write, self.thread):
+            arr.setflags(write=False)
+
+    # -- basic protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for a, w, t in zip(self.addresses, self.is_write, self.thread):
+            yield MemoryAccess(int(a), bool(w), int(t))
+
+    def __getitem__(self, item: slice) -> "Trace":
+        if not isinstance(item, slice):
+            raise TypeError("Trace supports slice indexing only")
+        return Trace(
+            self.addresses[item].copy(),
+            self.is_write[item].copy(),
+            self.thread[item].copy(),
+            name=self.name,
+            meta=self.meta,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.name or 'unnamed'}: {len(self)} refs, {self.num_threads} thread(s)>"
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.thread.max()) + 1 if len(self) else 0
+
+    def blocks(self, offset_bits: int) -> np.ndarray:
+        """Block addresses under a given line size."""
+        return self.addresses >> np.uint64(offset_bits)
+
+    def unique_addresses(self) -> np.ndarray:
+        return np.unique(self.addresses)
+
+    def unique_blocks(self, offset_bits: int) -> np.ndarray:
+        return np.unique(self.blocks(offset_bits))
+
+    def footprint_bytes(self, offset_bits: int) -> int:
+        """Touched memory at line granularity."""
+        return int(self.unique_blocks(offset_bits).size) << offset_bits
+
+    def write_fraction(self) -> float:
+        return float(self.is_write.mean()) if len(self) else 0.0
+
+    def for_thread(self, thread: int) -> "Trace":
+        mask = self.thread == thread
+        return Trace(
+            self.addresses[mask].copy(),
+            self.is_write[mask].copy(),
+            np.zeros(int(mask.sum()), dtype=np.int16),
+            name=f"{self.name}[t{thread}]",
+            meta=self.meta,
+        )
+
+    def with_name(self, name: str) -> "Trace":
+        return Trace(self.addresses, self.is_write, self.thread, name=name, meta=self.meta)
+
+    def head(self, n: int) -> "Trace":
+        return self[:n]
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            np.concatenate([self.addresses, other.addresses]),
+            np.concatenate([self.is_write, other.is_write]),
+            np.concatenate([self.thread, other.thread]),
+            name=f"{self.name}+{other.name}",
+        )
+
+
+class TraceBuilder:
+    """Chunked appender used by the workload recorder."""
+
+    CHUNK = 1 << 16
+
+    def __init__(self, name: str = "", meta: dict[str, Any] | None = None):
+        self.name = name
+        self.meta = dict(meta or {})
+        self._chunks_addr: list[np.ndarray] = []
+        self._chunks_write: list[np.ndarray] = []
+        self._addr = np.empty(self.CHUNK, dtype=np.uint64)
+        self._write = np.empty(self.CHUNK, dtype=bool)
+        self._fill = 0
+        self._total = 0
+
+    def append(self, address: int, is_write: bool = False) -> None:
+        if self._fill == self.CHUNK:
+            self._flush_chunk()
+        self._addr[self._fill] = address
+        self._write[self._fill] = is_write
+        self._fill += 1
+        self._total += 1
+
+    def extend(self, addresses: np.ndarray, is_write: bool = False) -> None:
+        """Bulk append (used by vectorised workload phases)."""
+        self._flush_chunk()
+        addresses = np.ascontiguousarray(addresses, dtype=np.uint64).ravel()
+        self._chunks_addr.append(addresses)
+        self._chunks_write.append(np.full(addresses.size, is_write, dtype=bool))
+        self._total += addresses.size
+
+    def _flush_chunk(self) -> None:
+        if self._fill:
+            self._chunks_addr.append(self._addr[: self._fill].copy())
+            self._chunks_write.append(self._write[: self._fill].copy())
+            self._fill = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def build(self) -> Trace:
+        self._flush_chunk()
+        if self._chunks_addr:
+            addresses = np.concatenate(self._chunks_addr)
+            writes = np.concatenate(self._chunks_write)
+        else:
+            addresses = np.empty(0, dtype=np.uint64)
+            writes = np.empty(0, dtype=bool)
+        return Trace(addresses, writes, name=self.name, meta=self.meta)

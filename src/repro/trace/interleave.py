@@ -1,0 +1,118 @@
+"""Multithreaded trace interleaving — the M-Sim stand-in.
+
+The paper's Section IV.E experiments run 2-4 threads on an SMT core sharing
+the L1.  At the cache's vantage point an SMT core is an *interleaving* of the
+threads' reference streams; these functions build that interleaving from
+per-thread traces, tagging each reference with its thread id so the shared
+cache can apply per-thread indexing functions (paper Figure 13) or
+partitions (Figure 14).
+
+Three disciplines are provided:
+
+* ``round_robin`` — one reference per thread per turn (ideal fine-grain SMT);
+* ``random_interleave`` — Bernoulli choice per slot, weighted by the threads'
+  remaining lengths (models issue jitter);
+* ``block_interleave`` — quantum-sized bursts (coarse-grain multithreading /
+  context switching).
+
+All preserve per-thread program order — the only property the cache-level
+results depend on — and consume threads fully: the interleaved length is the
+sum of the input lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .event import Trace
+
+__all__ = ["round_robin", "random_interleave", "block_interleave", "retag_threads"]
+
+
+def _tagged(traces: list[Trace] | tuple[Trace, ...]) -> list[Trace]:
+    if not traces:
+        raise ValueError("need at least one trace")
+    return list(traces)
+
+
+def retag_threads(traces: list[Trace]) -> list[np.ndarray]:
+    """Thread-id arrays: trace *i* becomes thread *i* regardless of old tags."""
+    return [np.full(len(t), i, dtype=np.int16) for i, t in enumerate(traces)]
+
+
+def _assemble(traces: list[Trace], order_thread: np.ndarray, order_pos: np.ndarray, name: str) -> Trace:
+    addresses = np.empty(order_thread.size, dtype=np.uint64)
+    is_write = np.empty(order_thread.size, dtype=bool)
+    for i, t in enumerate(traces):
+        mask = order_thread == i
+        addresses[mask] = t.addresses[order_pos[mask]]
+        is_write[mask] = t.is_write[order_pos[mask]]
+    return Trace(addresses, is_write, order_thread.astype(np.int16), name=name)
+
+
+def round_robin(traces: list[Trace], name: str = "") -> Trace:
+    """Cycle through live threads, one reference each."""
+    traces = _tagged(traces)
+    lengths = [len(t) for t in traces]
+    total = sum(lengths)
+    order_thread = np.empty(total, dtype=np.int64)
+    order_pos = np.empty(total, dtype=np.int64)
+    cursors = [0] * len(traces)
+    k = 0
+    while k < total:
+        for i, t in enumerate(traces):
+            if cursors[i] < lengths[i]:
+                order_thread[k] = i
+                order_pos[k] = cursors[i]
+                cursors[i] += 1
+                k += 1
+    return _assemble(traces, order_thread, order_pos, name or "+".join(t.name for t in traces))
+
+
+def random_interleave(traces: list[Trace], seed: int = 0, name: str = "") -> Trace:
+    """Random merge preserving per-thread order (weighted by length)."""
+    traces = _tagged(traces)
+    rng = np.random.default_rng(seed)
+    # Draw a global order by assigning each reference a uniform key and
+    # sorting — within a thread keys are assigned in increasing position, so
+    # sort stability preserves program order per thread.
+    lengths = np.array([len(t) for t in traces])
+    total = int(lengths.sum())
+    thread_of = np.repeat(np.arange(len(traces)), lengths)
+    pos_of = np.concatenate([np.arange(n) for n in lengths]) if total else np.empty(0, dtype=np.int64)
+    keys = rng.random(total)
+    # Sort keys *within each thread* so position order is preserved, then
+    # merge by key.
+    for i in range(len(traces)):
+        mask = thread_of == i
+        keys[mask] = np.sort(keys[mask])
+    order = np.argsort(keys, kind="stable")
+    return _assemble(
+        traces, thread_of[order], pos_of[order], name or "+".join(t.name for t in traces)
+    )
+
+
+def block_interleave(traces: list[Trace], quantum: int = 64, name: str = "") -> Trace:
+    """Quantum-sized bursts per thread, round-robin over live threads."""
+    traces = _tagged(traces)
+    if quantum < 1:
+        raise ValueError("quantum must be >= 1")
+    lengths = [len(t) for t in traces]
+    total = sum(lengths)
+    order_thread = np.empty(total, dtype=np.int64)
+    order_pos = np.empty(total, dtype=np.int64)
+    cursors = [0] * len(traces)
+    k = 0
+    while k < total:
+        progressed = False
+        for i in range(len(traces)):
+            take = min(quantum, lengths[i] - cursors[i])
+            if take > 0:
+                order_thread[k : k + take] = i
+                order_pos[k : k + take] = np.arange(cursors[i], cursors[i] + take)
+                cursors[i] += take
+                k += take
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            break
+    return _assemble(traces, order_thread, order_pos, name or "+".join(t.name for t in traces))

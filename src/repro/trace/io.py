@@ -1,0 +1,113 @@
+"""Trace persistence.
+
+Two formats:
+
+* **NPZ** (binary, default) — the struct-of-arrays dumped via
+  :func:`numpy.savez_compressed`, with metadata as a JSON sidecar entry.
+  Loads back bit-identical; used by the on-disk trace cache that spares the
+  benches from regenerating workloads on every run.
+* **din** (text) — the classic Dinero-style ``<op> <hex-address>`` lines
+  (0 = read, 1 = write, one access per line, ``#`` comments), for eyeballing
+  traces and interoperating with external cache tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .event import Trace
+
+__all__ = ["save_npz", "load_npz", "save_din", "load_din", "TraceCache"]
+
+
+def save_npz(trace: Trace, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        is_write=trace.is_write,
+        thread=trace.thread,
+        meta=np.frombuffer(
+            json.dumps({"name": trace.name, **trace.meta}).encode(), dtype=np.uint8
+        ),
+    )
+    # np.savez appends .npz when absent; normalise the reported path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path: str | Path) -> Trace:
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode()) if "meta" in data else {}
+        name = meta.pop("name", "")
+        return Trace(
+            data["addresses"].copy(),
+            data["is_write"].copy(),
+            data["thread"].copy(),
+            name=name,
+            meta=meta,
+        )
+
+
+def save_din(trace: Trace, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(f"# trace: {trace.name} ({len(trace)} refs)\n")
+        for a, w in zip(trace.addresses, trace.is_write):
+            fh.write(f"{1 if w else 0} {int(a):x}\n")
+    return path
+
+
+def load_din(path: str | Path, name: str = "") -> Trace:
+    ops: list[int] = []
+    addrs: list[int] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, addr = line.split()
+            ops.append(int(op))
+            addrs.append(int(addr, 16))
+    return Trace(
+        np.array(addrs, dtype=np.uint64),
+        np.array(ops, dtype=bool),
+        name=name or Path(path).stem,
+    )
+
+
+class TraceCache:
+    """Content-addressed on-disk cache of generated traces.
+
+    Keys are ``(name, seed, ref_limit, extra params)``; a miss runs the
+    supplied generator and persists the result, so repeated experiment runs
+    pay trace generation once.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    @staticmethod
+    def key_for(name: str, **params) -> str:
+        parts = [name] + [f"{k}={params[k]}" for k in sorted(params)]
+        return "_".join(parts).replace("/", "-").replace(" ", "")
+
+    def get_or_create(self, key: str, generator) -> Trace:
+        path = self._path(key)
+        if path.exists():
+            return load_npz(path)
+        trace = generator()
+        save_npz(trace, path)
+        return trace
+
+    def clear(self) -> None:
+        for p in self.root.glob("*.npz"):
+            p.unlink()

@@ -1,0 +1,211 @@
+"""Modelled process address space.
+
+The MiBench/SPEC workload kernels execute their real algorithms, but the
+*addresses* they touch come from this model: a 32-bit virtual address space
+with the classic segment layout —
+
+* static/global data at ``STATIC_BASE``,
+* a downward-growing stack at ``STACK_TOP`` with explicit frames,
+* an upward-growing heap at ``HEAP_BASE`` with a bump-pointer allocator
+  (plus alignment and optional inter-allocation padding, mimicking malloc
+  headers so heap objects do not collapse into artificially regular
+  strides).
+
+This is the stand-in for SimpleScalar's Alpha process image: the cache only
+ever sees addresses, and this layout reproduces the stride/segment structure
+that drives the paper's non-uniformity observations (stack and hot globals
+pinning a few sets while large arrays sweep others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AddressSpace", "Array", "StackFrame", "SegmentLayout"]
+
+
+@dataclass(frozen=True)
+class SegmentLayout:
+    """Base addresses of the modelled segments (defaults mirror a 32-bit
+    ELF-ish layout).
+
+    The defaults are deliberately *not* multiples of the 32 KiB cache
+    capacity: in a real process the first global sits at a link-dependent
+    offset inside .data and the heap starts wherever brk lands after bss,
+    so distinct hot objects do not systematically alias to the same
+    conventional cache sets.  Capacity-aligned bases would make the modulo
+    baseline thrash pathologically on small-working-set benchmarks — an
+    artefact, not a reproduction (caught by the crc workload's tests).
+    """
+
+    static_base: int = 0x0804_9A60
+    heap_base: int = 0x0924_E1B8
+    stack_top: int = 0xBFFF_E3A0
+    mmap_base: int = 0x4001_2C40
+
+
+class Array:
+    """A contiguous object in the modelled space.
+
+    Provides address arithmetic only — element *values* live in ordinary
+    Python/NumPy objects inside the workload; this class answers "what byte
+    address does element ``i`` occupy".
+    """
+
+    __slots__ = ("base", "elem_size", "length", "name")
+
+    def __init__(self, base: int, elem_size: int, length: int, name: str = ""):
+        self.base = base
+        self.elem_size = elem_size
+        self.length = length
+        self.name = name
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index`` (bounds-checked)."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"{self.name or 'array'}[{index}] out of range 0..{self.length - 1}")
+        return self.base + index * self.elem_size
+
+    def addrs(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`addr` (bounds-checked)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.length):
+            raise IndexError(f"index out of range for {self.name or 'array'}")
+        return (np.uint64(self.base) + indices.astype(np.uint64) * np.uint64(self.elem_size))
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elem_size * self.length
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def field_addr(self, index: int, offset: int) -> int:
+        """Address of a struct field: element base + byte offset."""
+        a = self.addr(index)
+        if not 0 <= offset < self.elem_size:
+            raise IndexError("field offset outside the element")
+        return a + offset
+
+
+class StackFrame:
+    """One procedure frame with named local slots."""
+
+    __slots__ = ("base", "size", "_slots", "_used")
+
+    def __init__(self, base: int, size: int):
+        self.base = base  # lowest address of the frame
+        self.size = size
+        self._slots: dict[str, tuple[int, int]] = {}
+        self._used = 0
+
+    def local(self, name: str, size: int = 8) -> int:
+        """Address of a named local, allocated on first use."""
+        if name not in self._slots:
+            if self._used + size > self.size:
+                raise MemoryError("stack frame overflow")
+            self._slots[name] = (self.base + self._used, size)
+            self._used += size
+        return self._slots[name][0]
+
+    def local_array(self, name: str, elem_size: int, length: int) -> Array:
+        """A local array carved out of the frame."""
+        key = f"{name}[]"
+        if key not in self._slots:
+            size = elem_size * length
+            if self._used + size > self.size:
+                raise MemoryError("stack frame overflow")
+            self._slots[key] = (self.base + self._used, size)
+            self._used += size
+        base, _ = self._slots[key]
+        return Array(base, elem_size, length, name=name)
+
+
+class AddressSpace:
+    """Segment allocator for one modelled process/thread.
+
+    ``thread_stride`` shifts every segment by a per-thread offset so SMT
+    experiments give each thread a disjoint working set, as separate
+    processes would have.
+    """
+
+    def __init__(
+        self,
+        layout: SegmentLayout | None = None,
+        thread: int = 0,
+        thread_stride: int = 0x0200_0000,
+        heap_padding: int = 16,
+    ):
+        layout = layout or SegmentLayout()
+        shift = thread * thread_stride
+        self.layout = layout
+        self.thread = thread
+        self._shift = shift
+        self._static_ptr = layout.static_base + shift
+        self._heap_ptr = layout.heap_base + shift
+        self._mmap_ptr = layout.mmap_base + shift
+        self._stack_ptr = layout.stack_top + shift
+        self.heap_padding = heap_padding
+        self._frames: list[StackFrame] = []
+
+    # -- static segment ------------------------------------------------------------
+
+    def static_array(self, elem_size: int, length: int, name: str = "", align: int = 8) -> Array:
+        base = _align_up(self._static_ptr, align)
+        self._static_ptr = base + elem_size * length
+        return Array(base, elem_size, length, name=name)
+
+    def static_scalar(self, size: int = 8, name: str = "") -> int:
+        base = _align_up(self._static_ptr, size)
+        self._static_ptr = base + size
+        return base
+
+    # -- heap ------------------------------------------------------------------------
+
+    def malloc(self, size: int, align: int = 8, name: str = "") -> int:
+        """Bump allocation with malloc-header-like padding between objects."""
+        base = _align_up(self._heap_ptr + self.heap_padding, align)
+        self._heap_ptr = base + size
+        return base
+
+    def heap_array(self, elem_size: int, length: int, name: str = "", align: int = 8) -> Array:
+        base = self.malloc(elem_size * length, align=align, name=name)
+        return Array(base, elem_size, length, name=name)
+
+    def mmap_array(self, elem_size: int, length: int, name: str = "") -> Array:
+        """Page-aligned mapping (large numeric arrays in real programs)."""
+        base = _align_up(self._mmap_ptr, 4096)
+        self._mmap_ptr = base + elem_size * length
+        return Array(base, elem_size, length, name=name)
+
+    # -- stack -------------------------------------------------------------------------
+
+    def push_frame(self, size: int = 256) -> StackFrame:
+        size = _align_up(size, 16)
+        self._stack_ptr -= size
+        frame = StackFrame(self._stack_ptr, size)
+        self._frames.append(frame)
+        return frame
+
+    def pop_frame(self) -> None:
+        if not self._frames:
+            raise RuntimeError("pop from empty stack")
+        frame = self._frames.pop()
+        self._stack_ptr += frame.size
+
+    @property
+    def stack_depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def heap_used(self) -> int:
+        return self._heap_ptr - (self.layout.heap_base + self._shift)
+
+
+def _align_up(value: int, align: int) -> int:
+    if align & (align - 1):
+        raise ValueError("alignment must be a power of two")
+    return (value + align - 1) & ~(align - 1)

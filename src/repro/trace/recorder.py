@@ -1,0 +1,183 @@
+"""Workload recorder: the bridge between an algorithm and its trace.
+
+A :class:`Recorder` owns an :class:`~repro.trace.memory.AddressSpace` and a
+:class:`~repro.trace.event.TraceBuilder`, and exposes ``load``/``store``
+verbs the workload kernels call as they execute.  The kernels therefore read
+like the C programs they model::
+
+    m = Recorder("fft", seed=1)
+    data = m.space.heap_array(8, n, "data")
+    ...
+    x = values[i]          # real computation on Python values
+    m.load(data.addr(i))   # and the memory reference it implies
+
+A ``ref_limit`` turns long-running kernels into bounded traces: once the
+limit is reached the recorder raises :class:`TraceComplete`, which
+:func:`record` catches — so kernels never need their own trace-length logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .event import Trace, TraceBuilder
+from .memory import AddressSpace, Array
+
+__all__ = ["Recorder", "TraceComplete", "record"]
+
+
+class TraceComplete(Exception):
+    """Raised internally when the recorder hits its reference limit."""
+
+
+class Recorder:
+    """Trace-emitting memory interface handed to workload kernels."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        ref_limit: int | None = None,
+        thread: int = 0,
+    ):
+        self.name = name
+        self.rng = np.random.default_rng(seed)
+        self.space = AddressSpace(thread=thread)
+        self.builder = TraceBuilder(name=name, meta={"seed": seed})
+        self.ref_limit = ref_limit
+        self._stdio: "_StdioModel | None" = None
+
+    # -- stdio -------------------------------------------------------------------
+
+    def printf(self, nbytes: int = 24, fmt_id: int = 0) -> None:
+        """Model a formatted print (MiBench programs print constantly).
+
+        Touches the hot stdio working set a real ``printf`` does: the format
+        string (rodata), the ``FILE`` structure, and a run of stores into the
+        stdout buffer; a full buffer is "flushed" (re-read for the write
+        syscall).  These recurring hot lines, scattered across segments, are
+        a major source of the conflict misses the paper's techniques target.
+        """
+        if self._stdio is None:
+            self._stdio = _StdioModel(self.space)
+        self._stdio.printf(self, nbytes, fmt_id)
+
+    # -- scalar references -----------------------------------------------------------
+
+    def load(self, address: int) -> None:
+        self._emit(address, False)
+
+    def store(self, address: int) -> None:
+        self._emit(address, True)
+
+    def _emit(self, address: int, is_write: bool) -> None:
+        self.builder.append(address, is_write)
+        if self.ref_limit is not None and len(self.builder) >= self.ref_limit:
+            raise TraceComplete
+
+    # -- array convenience -------------------------------------------------------------
+
+    def load_elem(self, array: Array, index: int) -> None:
+        self.load(array.addr(index))
+
+    def store_elem(self, array: Array, index: int) -> None:
+        self.store(array.addr(index))
+
+    def load_field(self, array: Array, index: int, offset: int) -> None:
+        self.load(array.field_addr(index, offset))
+
+    def store_field(self, array: Array, index: int, offset: int) -> None:
+        self.store(array.field_addr(index, offset))
+
+    # -- bulk references ----------------------------------------------------------------
+
+    def load_stream(self, addresses: np.ndarray) -> None:
+        """Vectorised sequence of loads (bounded by the ref limit)."""
+        self._emit_stream(addresses, False)
+
+    def store_stream(self, addresses: np.ndarray) -> None:
+        self._emit_stream(addresses, True)
+
+    def _emit_stream(self, addresses: np.ndarray, is_write: bool) -> None:
+        addresses = np.asarray(addresses, dtype=np.uint64).ravel()
+        if self.ref_limit is not None:
+            room = self.ref_limit - len(self.builder)
+            if room <= 0:
+                raise TraceComplete
+            if addresses.size > room:
+                self.builder.extend(addresses[:room], is_write)
+                raise TraceComplete
+        self.builder.extend(addresses, is_write)
+        if self.ref_limit is not None and len(self.builder) >= self.ref_limit:
+            raise TraceComplete
+
+    # -- finishing -----------------------------------------------------------------------
+
+    def build(self) -> Trace:
+        return self.builder.build()
+
+
+class _StdioModel:
+    """Hot stdio state: FILE struct, stdout buffer, format-string pool."""
+
+    BUF_BYTES = 4096
+
+    def __init__(self, space: AddressSpace):
+        self.file_struct = space.static_array(8, 16, "_IO_FILE")  # 128 B
+        self.fmt_pool = space.static_array(32, 16, "fmt_strings")  # 512 B rodata
+        self.buf = space.heap_array(1, self.BUF_BYTES, "stdout_buf")
+        self.pos = 0
+
+    def printf(self, m: "Recorder", nbytes: int, fmt_id: int) -> None:
+        m.load_elem(self.fmt_pool, fmt_id % self.fmt_pool.length)
+        m.load_elem(self.file_struct, 0)  # flags / write pointer
+        m.load_elem(self.file_struct, 3)
+        # vfprintf's own frame: a real printf burns ~0.5 KiB of stack for
+        # format state and a conversion work buffer, re-touched every call.
+        frame = m.space.push_frame(640)
+        work = frame.local_array("work", 8, 64)
+        for i in range(0, 64, 8):
+            m.store_elem(work, i)
+            m.load_elem(work, i)
+        for off in range(0, nbytes, 8):
+            if self.pos >= self.BUF_BYTES:
+                # Flush: the write(2) path reads the buffer back out.
+                for b in range(0, self.BUF_BYTES, 32):
+                    m.load(self.buf.addr(b))
+                self.pos = 0
+            m.store(self.buf.addr(self.pos))
+            self.pos += 8
+        m.space.pop_frame()
+        m.store_elem(self.file_struct, 0)  # update the write pointer
+
+
+def record(
+    kernel: Callable[[Recorder], None],
+    name: str,
+    seed: int = 0,
+    ref_limit: int | None = None,
+    thread: int = 0,
+    meta: dict | None = None,
+) -> Trace:
+    """Run ``kernel(recorder)`` to completion or to the reference limit."""
+    rec = Recorder(name, seed=seed, ref_limit=ref_limit, thread=thread)
+    if meta:
+        rec.builder.meta.update(meta)
+    try:
+        kernel(rec)
+    except TraceComplete:
+        pass
+    trace = rec.build()
+    if ref_limit is not None and len(trace) > ref_limit:
+        trace = trace.head(ref_limit)
+    if thread != 0:
+        trace = Trace(
+            trace.addresses,
+            trace.is_write,
+            np.full(len(trace), thread, dtype=np.int16),
+            name=trace.name,
+            meta=trace.meta,
+        )
+    return trace

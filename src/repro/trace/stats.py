@@ -1,0 +1,100 @@
+"""Trace-level descriptive statistics.
+
+Summaries used in workload documentation and sanity tests: footprint,
+stride spectrum, reuse distances, segment mix.  These characterise the
+*inputs* of the paper's experiments; the per-set uniformity metrics of the
+*outputs* live in :mod:`repro.core.uniformity`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .event import Trace
+
+__all__ = ["TraceSummary", "summarize", "stride_histogram", "reuse_distances"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    name: str
+    length: int
+    unique_blocks: int
+    footprint_bytes: int
+    write_fraction: float
+    num_threads: int
+    top_strides: tuple[tuple[int, float], ...]
+
+    def __str__(self) -> str:
+        strides = ", ".join(f"{s:+d}×{f:.0%}" for s, f in self.top_strides)
+        return (
+            f"{self.name}: {self.length} refs, {self.unique_blocks} blocks "
+            f"({self.footprint_bytes / 1024:.1f} KiB), {self.write_fraction:.0%} writes, "
+            f"{self.num_threads} thread(s), strides [{strides}]"
+        )
+
+
+def summarize(trace: Trace, offset_bits: int = 5, top_k: int = 4) -> TraceSummary:
+    hist = stride_histogram(trace, top_k=top_k)
+    return TraceSummary(
+        name=trace.name,
+        length=len(trace),
+        unique_blocks=int(trace.unique_blocks(offset_bits).size),
+        footprint_bytes=trace.footprint_bytes(offset_bits),
+        write_fraction=trace.write_fraction(),
+        num_threads=trace.num_threads,
+        top_strides=hist,
+    )
+
+
+def stride_histogram(trace: Trace, top_k: int = 4) -> tuple[tuple[int, float], ...]:
+    """Most common successive-address deltas and their frequencies."""
+    if len(trace) < 2:
+        return ()
+    deltas = np.diff(trace.addresses.astype(np.int64))
+    counts = Counter(deltas.tolist())
+    total = deltas.size
+    return tuple((int(s), c / total) for s, c in counts.most_common(top_k))
+
+
+def reuse_distances(trace: Trace, offset_bits: int = 5, limit: int | None = None) -> np.ndarray:
+    """LRU stack distance per access (-1 for cold).  O(N · unique) worst case
+    via a compact ordered structure; pass ``limit`` to cap the scan."""
+    blocks = trace.blocks(offset_bits)
+    if limit is not None:
+        blocks = blocks[:limit]
+    last_pos: dict[int, int] = {}
+    # Distance = number of distinct blocks touched since the previous access
+    # to this block; computed with a Fenwick tree over positions.
+    n = blocks.size
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(i: int, v: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += v
+            i += i & (-i)
+
+    def prefix(i: int) -> int:
+        i += 1
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return int(s)
+
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        b = int(blocks[i])
+        if b in last_pos:
+            j = last_pos[b]
+            out[i] = prefix(i - 1) - prefix(j)
+            add(j, -1)
+        else:
+            out[i] = -1
+        add(i, 1)
+        last_pos[b] = i
+    return out

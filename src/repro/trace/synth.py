@@ -1,0 +1,145 @@
+"""Synthetic trace stressors.
+
+Parametric generators with *known* ground-truth behaviour, used by the test
+suite to validate the simulator and metrics (a Zipf trace must show high
+kurtosis; a uniform sweep must show ~zero; a power-of-two stride must
+thrash a direct-mapped cache but not a prime-modulo one) and by the
+ablation benches as controlled inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .event import Trace
+
+__all__ = [
+    "uniform_trace",
+    "sequential_sweep",
+    "strided_trace",
+    "zipf_trace",
+    "hot_set_trace",
+    "pointer_chase_trace",
+    "ping_pong_trace",
+]
+
+
+def uniform_trace(
+    length: int, span_bytes: int = 1 << 20, base: int = 0x1000_0000, seed: int = 0, name: str = "uniform"
+) -> Trace:
+    """Independent uniform addresses over ``span_bytes`` — maximally uniform sets."""
+    rng = np.random.default_rng(seed)
+    addrs = base + rng.integers(0, span_bytes, size=length, dtype=np.int64)
+    return Trace(addrs.astype(np.uint64), name=name, meta={"seed": seed, "span": span_bytes})
+
+
+def sequential_sweep(
+    length: int, stride: int = 4, base: int = 0x1000_0000, name: str = "sweep"
+) -> Trace:
+    """A linear scan: ``base, base+stride, ...`` — classic streaming access."""
+    addrs = base + stride * np.arange(length, dtype=np.uint64)
+    return Trace(addrs, name=name, meta={"stride": stride})
+
+
+def strided_trace(
+    length: int,
+    stride: int,
+    working_set: int,
+    base: int = 0x1000_0000,
+    name: str = "strided",
+) -> Trace:
+    """Repeated strided sweeps over a fixed working set.
+
+    With ``stride`` a multiple of ``line_size * num_sets`` every reference
+    lands in one set of a conventionally indexed cache — the paper's
+    motivating pathology.
+    """
+    per_sweep = max(1, working_set // max(stride, 1))
+    offsets = (np.arange(length, dtype=np.uint64) % np.uint64(per_sweep)) * np.uint64(stride)
+    return Trace(np.uint64(base) + offsets, name=name, meta={"stride": stride})
+
+
+def zipf_trace(
+    length: int,
+    num_blocks: int = 4096,
+    exponent: float = 1.2,
+    line_size: int = 32,
+    base: int = 0x1000_0000,
+    seed: int = 0,
+    name: str = "zipf",
+) -> Trace:
+    """Zipf-popular blocks: few extremely hot lines, a long cold tail."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_blocks + 1, dtype=np.float64)
+    probs = ranks**-exponent
+    probs /= probs.sum()
+    # Shuffle block placement so hotness is not correlated with address.
+    placement = rng.permutation(num_blocks).astype(np.uint64)
+    picks = rng.choice(num_blocks, size=length, p=probs)
+    addrs = np.uint64(base) + placement[picks] * np.uint64(line_size)
+    return Trace(addrs, name=name, meta={"seed": seed, "exponent": exponent})
+
+
+def hot_set_trace(
+    length: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    span_bytes: int = 1 << 20,
+    base: int = 0x1000_0000,
+    seed: int = 0,
+    name: str = "hot_set",
+) -> Trace:
+    """A two-tier distribution: ``hot_weight`` of accesses hit the first
+    ``hot_fraction`` of the span."""
+    if not 0 < hot_fraction < 1:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    hot_span = max(1, int(span_bytes * hot_fraction))
+    is_hot = rng.random(length) < hot_weight
+    addrs = np.where(
+        is_hot,
+        rng.integers(0, hot_span, size=length),
+        rng.integers(hot_span, span_bytes, size=length),
+    )
+    return Trace((base + addrs).astype(np.uint64), name=name, meta={"seed": seed})
+
+
+def pointer_chase_trace(
+    length: int,
+    num_nodes: int = 4096,
+    node_size: int = 64,
+    base: int = 0x0900_0000,
+    seed: int = 0,
+    name: str = "chase",
+) -> Trace:
+    """A random circular linked list walked repeatedly — dependent loads."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(num_nodes)
+    next_node = np.empty(num_nodes, dtype=np.int64)
+    next_node[perm] = np.roll(perm, -1)
+    node = int(perm[0])
+    out = np.empty(length, dtype=np.uint64)
+    for i in range(length):
+        out[i] = base + node * node_size
+        node = int(next_node[node])
+    return Trace(out, name=name, meta={"seed": seed, "nodes": num_nodes})
+
+
+def ping_pong_trace(
+    length: int,
+    distance: int = 32 * 1024,
+    base: int = 0x1000_0000,
+    name: str = "ping_pong",
+) -> Trace:
+    """Two addresses exactly ``distance`` apart, alternating.
+
+    With ``distance`` equal to the cache capacity the pair conflicts in
+    every conventional direct-mapped set — a 100%-miss adversary that any
+    of the paper's techniques should fix.
+    """
+    addrs = np.where(
+        np.arange(length, dtype=np.uint64) % np.uint64(2) == 0,
+        np.uint64(base),
+        np.uint64(base + distance),
+    )
+    return Trace(addrs, name=name, meta={"distance": distance})

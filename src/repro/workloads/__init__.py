@@ -1,0 +1,34 @@
+"""Workloads: executable kernels that emit the memory traces the paper's
+benchmarks produced under SimpleScalar.
+
+Importing :mod:`repro.workloads` registers every MiBench and SPEC-like
+workload; look them up with :func:`get_workload`.
+"""
+
+from . import hpc, mibench, spec
+from .base import (
+    DEFAULT_REF_LIMIT,
+    WORKLOAD_REGISTRY,
+    Workload,
+    available_workloads,
+    get_workload,
+    register_workload,
+)
+from .hpc import HPC_ORDER
+from .mibench import MIBENCH_ORDER
+from .spec import SPEC_ORDER
+
+__all__ = [
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+    "WORKLOAD_REGISTRY",
+    "DEFAULT_REF_LIMIT",
+    "MIBENCH_ORDER",
+    "SPEC_ORDER",
+    "HPC_ORDER",
+    "mibench",
+    "spec",
+    "hpc",
+]

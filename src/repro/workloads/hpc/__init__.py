@@ -1,0 +1,20 @@
+"""HPC workload kernels — the suite the paper says it was extending to
+("we are currently repeating our experiments with SPEC as well as HPC
+applications").  Importing this package registers them all."""
+
+from .histogram import HistogramWorkload
+from .jacobi import JacobiWorkload
+from .spmv import SpmvWorkload
+from .stream import StreamWorkload
+from .transpose import TransposeWorkload
+
+HPC_ORDER = ["histogram", "jacobi", "spmv", "stream", "transpose"]
+
+__all__ = [
+    "HistogramWorkload",
+    "JacobiWorkload",
+    "SpmvWorkload",
+    "StreamWorkload",
+    "TransposeWorkload",
+    "HPC_ORDER",
+]

@@ -1,0 +1,42 @@
+"""HPC ``transpose`` — naive out-of-place matrix transpose.
+
+The textbook cache-indexing pathology: reading ``A`` row-wise while writing
+``B = Aᵀ`` column-wise makes the writes stride by the full row length.
+With a power-of-two matrix dimension every write in a column lands in the
+same handful of sets under conventional indexing — the exact case
+prime-modulo indexing was invented for (Kharbutli et al. open with it).
+Transpose correctness is asserted in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["TransposeWorkload"]
+
+
+@register_workload
+class TransposeWorkload(Workload):
+    name = "transpose"
+    suite = "hpc"
+    description = "Naive N x N double-precision matrix transpose (N power of 2)"
+    access_pattern = "unit-stride reads vs full-row-stride writes"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        n = 1 << max(4, round(7 * min(scale, 1.0)) if scale < 1.0 else 7)  # 128
+        reps = self.scaled(3, scale, minimum=1)
+        a_arr = m.space.heap_array(8, n * n, "A")
+        b_arr = m.space.heap_array(8, n * n, "B")
+        a = m.rng.normal(0, 1, size=(n, n))
+        b = np.zeros((n, n))
+        for _ in range(reps):
+            for i in range(n):
+                for j in range(n):
+                    m.load_elem(a_arr, i * n + j)
+                    b[j, i] = a[i, j]
+                    m.store_elem(b_arr, j * n + i)
+        m.builder.meta["is_transpose"] = bool(np.array_equal(b, a.T))
+        m.builder.meta["n"] = n

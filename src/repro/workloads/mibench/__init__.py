@@ -1,0 +1,44 @@
+"""MiBench workload kernels (the 11 benchmarks of the paper's Figures 1,
+4, 6, 7, 9-12).  Importing this package registers them all."""
+
+from .adpcm import AdpcmWorkload
+from .basicmath import BasicmathWorkload
+from .bitcount import BitcountWorkload
+from .crc import CRCWorkload
+from .dijkstra import DijkstraWorkload
+from .fft import FFTWorkload
+from .patricia import PatriciaWorkload
+from .qsort import QsortWorkload
+from .rijndael import RijndaelWorkload
+from .sha import ShaWorkload
+from .susan import SusanWorkload
+
+#: The paper's Figure 4/6 benchmark order.
+MIBENCH_ORDER = [
+    "adpcm",
+    "basicmath",
+    "bitcount",
+    "crc",
+    "dijkstra",
+    "fft",
+    "patricia",
+    "qsort",
+    "rijndael",
+    "sha",
+    "susan",
+]
+
+__all__ = [
+    "AdpcmWorkload",
+    "BasicmathWorkload",
+    "BitcountWorkload",
+    "CRCWorkload",
+    "DijkstraWorkload",
+    "FFTWorkload",
+    "PatriciaWorkload",
+    "QsortWorkload",
+    "RijndaelWorkload",
+    "ShaWorkload",
+    "SusanWorkload",
+    "MIBENCH_ORDER",
+]

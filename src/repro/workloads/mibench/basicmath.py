@@ -1,0 +1,111 @@
+"""MiBench ``basicmath`` — cubic roots, integer square roots, angle
+conversions.
+
+Compute-dominated with a small memory footprint: tight stack frames per
+solver call, small coefficient/result arrays.  The stack lines are
+re-touched constantly, so a handful of sets take nearly all accesses —
+non-uniform *accesses* but almost all hits, the case the paper's intro
+singles out (non-uniformity alone does not imply misses).
+
+The cubic solver is Cardano's method, verified against ``numpy.roots``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["BasicmathWorkload", "solve_cubic"]
+
+
+def solve_cubic(a: float, b: float, c: float, d: float) -> list[float]:
+    """Real roots of ``a x³ + b x² + c x + d`` (Cardano; a ≠ 0)."""
+    b, c, d = b / a, c / a, d / a
+    q = (3.0 * c - b * b) / 9.0
+    r = (-27.0 * d + b * (9.0 * c - 2.0 * b * b)) / 54.0
+    disc = q**3 + r * r
+    shift = -b / 3.0
+    if disc > 0:
+        s = math.copysign(abs(r + math.sqrt(disc)) ** (1 / 3), r + math.sqrt(disc))
+        t = math.copysign(abs(r - math.sqrt(disc)) ** (1 / 3), r - math.sqrt(disc))
+        return [shift + s + t]
+    if abs(disc) < 1e-12:
+        s = math.copysign(abs(r) ** (1 / 3), r)
+        return [shift + 2 * s, shift - s]
+    theta = math.acos(r / math.sqrt(-(q**3)))
+    mag = 2.0 * math.sqrt(-q)
+    return [
+        shift + mag * math.cos(theta / 3.0),
+        shift + mag * math.cos((theta + 2.0 * math.pi) / 3.0),
+        shift + mag * math.cos((theta + 4.0 * math.pi) / 3.0),
+    ]
+
+
+def isqrt_newton(x: int) -> int:
+    """Integer square root by the benchmark's bit-by-bit method."""
+    if x < 0:
+        raise ValueError("negative")
+    root, rem = 0, 0
+    for _ in range(16):
+        root <<= 1
+        rem = (rem << 2) | (x >> 30)
+        x = (x << 2) & 0xFFFFFFFF
+        root += 1
+        if root <= rem:
+            rem -= root
+            root += 1
+        else:
+            root -= 1
+    return root >> 1
+
+
+@register_workload
+class BasicmathWorkload(Workload):
+    name = "basicmath"
+    suite = "mibench"
+    description = "Cubic solving, integer sqrt and deg/rad conversion loops"
+    access_pattern = "hot stack frames + small coefficient arrays"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        iters = self.scaled(6000, scale, minimum=8)
+        coeffs = m.space.static_array(8, 4, "coeffs")
+        results = m.space.heap_array(8, 3 * iters, "roots")
+        out_idx = 0
+        for it in range(iters):
+            frame = m.space.push_frame(128)
+            a_s = frame.local("a")
+            q_s = frame.local("q")
+            r_s = frame.local("r")
+            a = 1.0
+            b = float(m.rng.uniform(-20, 20))
+            c = float(m.rng.uniform(-100, 100))
+            d = float(m.rng.uniform(-100, 100))
+            for i in range(4):
+                m.load_elem(coeffs, i)
+            m.store(a_s)
+            m.store(q_s)
+            m.store(r_s)
+            roots = solve_cubic(a, b, c, d)
+            m.printf(40, fmt_id=0)  # "Solutions:" line per equation
+            for root in roots:
+                m.load(q_s)
+                m.load(r_s)
+                m.store_elem(results, out_idx)
+                out_idx += 1
+            # Integer sqrt sub-loop (usqrt phase of the benchmark).
+            x = int(m.rng.integers(0, 1 << 30))
+            sq_s = frame.local("sq")
+            for _ in range(4):
+                m.store(sq_s)
+                m.load(sq_s)
+            _ = isqrt_newton(x)
+            m.printf(24, fmt_id=1)  # "sqrt(%lu) = %u" line
+            # Degree/radian conversion phase: short strided sweeps.
+            deg_arr = frame.local_array("deg", 8, 8)
+            for i in range(8):
+                m.store_elem(deg_arr, i)
+                m.load_elem(deg_arr, i)
+            m.space.pop_frame()
+        m.builder.meta["roots_emitted"] = out_idx

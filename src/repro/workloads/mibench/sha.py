@@ -1,0 +1,75 @@
+"""MiBench ``sha`` — SHA-1 digest of a buffer.
+
+Per 64-byte input block: 16 sequential word loads, an 80-entry message
+schedule written then read on the stack (hot frame lines), and the 5-word
+state in static data updated per block.  The digest is the real SHA-1
+value (tested against :mod:`hashlib`).
+"""
+
+from __future__ import annotations
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["ShaWorkload"]
+
+
+def _rol(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & 0xFFFFFFFF
+
+
+@register_workload
+class ShaWorkload(Workload):
+    name = "sha"
+    suite = "mibench"
+    description = "SHA-1 hashing of a pseudo-random buffer"
+    access_pattern = "block streaming + hot 80-word stack schedule"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        nbytes = self.scaled(48 * 1024, scale, minimum=64) & ~63  # whole blocks
+        buf = m.space.heap_array(1, nbytes + 72, "input")
+        state_arr = m.space.static_array(4, 5, "sha_state")
+        raw = bytes(m.rng.integers(0, 256, size=nbytes, dtype=int).tolist())
+        # Standard SHA-1 padding: 0x80, zeros, 64-bit big-endian bit length.
+        pad_len = (55 - nbytes) % 64
+        data = raw + b"\x80" + b"\x00" * pad_len + (8 * nbytes).to_bytes(8, "big")
+        h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+
+        frame = m.space.push_frame(80 * 4 + 64)
+        w_arr = frame.local_array("W", 4, 80)
+        for block_start in range(0, len(data), 64):
+            w = []
+            for t in range(16):
+                # Word load = 4 byte reads in the original; emit the word.
+                m.load(buf.addr(block_start + 4 * t))
+                word = int.from_bytes(data[block_start + 4 * t : block_start + 4 * t + 4], "big")
+                w.append(word)
+                m.store_elem(w_arr, t)
+            for t in range(16, 80):
+                m.load_elem(w_arr, t - 3)
+                m.load_elem(w_arr, t - 8)
+                m.load_elem(w_arr, t - 14)
+                m.load_elem(w_arr, t - 16)
+                w.append(_rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+                m.store_elem(w_arr, t)
+            for i in range(5):
+                m.load_elem(state_arr, i)
+            a, b, c, d, e = h
+            for t in range(80):
+                if t < 20:
+                    f, k = (b & c) | (~b & d), 0x5A827999
+                elif t < 40:
+                    f, k = b ^ c ^ d, 0x6ED9EBA1
+                elif t < 60:
+                    f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+                else:
+                    f, k = b ^ c ^ d, 0xCA62C1D6
+                m.load_elem(w_arr, t)
+                tmp = (_rol(a, 5) + f + e + k + w[t]) & 0xFFFFFFFF
+                e, d, c, b, a = d, c, _rol(b, 30), a, tmp
+            h = [(x + y) & 0xFFFFFFFF for x, y in zip(h, [a, b, c, d, e])]
+            for i in range(5):
+                m.store_elem(state_arr, i)
+        m.space.pop_frame()
+        m.builder.meta["digest"] = "".join(f"{x:08x}" for x in h)
+        m.builder.meta["nbytes"] = nbytes

@@ -1,0 +1,41 @@
+"""SPEC-CPU2006-like workload kernels (the 10 benchmarks of the paper's
+Figure 8).  Importing this package registers them all."""
+
+from .astar import AstarWorkload
+from .bzip2 import Bzip2Workload
+from .calculix import CalculixWorkload
+from .gromacs import GromacsWorkload
+from .hmmer import HmmerWorkload
+from .libquantum import LibquantumWorkload
+from .mcf import McfWorkload
+from .milc import MilcWorkload
+from .namd import NamdWorkload
+from .sjeng import SjengWorkload
+
+#: The paper's Figure 8 benchmark order.
+SPEC_ORDER = [
+    "astar",
+    "bzip2",
+    "calculix",
+    "gromacs",
+    "hmmer",
+    "libquantum",
+    "mcf",
+    "milc",
+    "namd",
+    "sjeng",
+]
+
+__all__ = [
+    "AstarWorkload",
+    "Bzip2Workload",
+    "CalculixWorkload",
+    "GromacsWorkload",
+    "HmmerWorkload",
+    "LibquantumWorkload",
+    "McfWorkload",
+    "MilcWorkload",
+    "NamdWorkload",
+    "SjengWorkload",
+    "SPEC_ORDER",
+]

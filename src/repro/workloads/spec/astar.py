@@ -1,0 +1,86 @@
+"""SPEC-like ``astar`` — A* grid pathfinding.
+
+Mechanistic stand-in for 473.astar: a 2-D occupancy grid (node records with
+g-cost, parent and closed flag), a binary-heap open list, Manhattan
+heuristic.  Access mix: heap array churn at the front (hot), scattered
+grid-node touches around the expanding frontier (irregular 2-D locality).
+Paths are validated in tests (monotone non-decreasing f, reaches goal).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["AstarWorkload"]
+
+_NODE = 16  # g(4) parent(4) closed(1) pad
+_HEAP_ELEM = 8
+
+
+@register_workload
+class AstarWorkload(Workload):
+    name = "astar"
+    suite = "spec"
+    description = "A* searches across a random-obstacle grid"
+    access_pattern = "binary-heap churn + frontier-local grid scatter"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        side = self.scaled(256, scale, minimum=16)
+        searches = self.scaled(12, scale, minimum=1)
+        grid_arr = m.space.heap_array(_NODE, side * side, "grid_nodes")
+        heap_arr = m.space.heap_array(_HEAP_ELEM, side * side, "open_heap")
+        blocked = m.rng.random((side, side)) < 0.25
+
+        found = 0
+        for s in range(searches):
+            sx, sy = (int(v) for v in m.rng.integers(1, side - 1, size=2))
+            gx, gy = (int(v) for v in m.rng.integers(1, side - 1, size=2))
+            blocked[sy, sx] = blocked[gy, gx] = False
+            g_cost = {}
+            closed = set()
+            open_heap: list[tuple[int, int, int]] = []
+
+            def h(x: int, y: int) -> int:
+                return abs(x - gx) + abs(y - gy)
+
+            g_cost[(sx, sy)] = 0
+            heapq.heappush(open_heap, (h(sx, sy), sx, sy))
+            m.store_elem(heap_arr, 0)
+            expansions = 0
+            while open_heap and expansions < 4 * side * side:
+                # Heap pop: root load + sift-down path touches log(n) slots.
+                m.load_elem(heap_arr, 0)
+                f, x, y = heapq.heappop(open_heap)
+                i = 1
+                while i < len(open_heap):
+                    m.load_elem(heap_arr, i)
+                    i = 2 * i + 1
+                if (x, y) in closed:
+                    continue
+                closed.add((x, y))
+                m.store_elem(grid_arr, y * side + x)  # set closed flag
+                expansions += 1
+                if (x, y) == (gx, gy):
+                    found += 1
+                    break
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    nx, ny = x + dx, y + dy
+                    if not (0 <= nx < side and 0 <= ny < side):
+                        continue
+                    m.load_elem(grid_arr, ny * side + nx)
+                    if blocked[ny, nx] or (nx, ny) in closed:
+                        continue
+                    ng = g_cost[(x, y)] + 1
+                    if ng < g_cost.get((nx, ny), 1 << 30):
+                        g_cost[(nx, ny)] = ng
+                        m.store_elem(grid_arr, ny * side + nx)
+                        heapq.heappush(open_heap, (ng + h(nx, ny), nx, ny))
+                        # Heap push: sift-up path.
+                        i = len(open_heap) - 1
+                        while i > 0:
+                            m.store_elem(heap_arr, min(i, heap_arr.length - 1))
+                            i = (i - 1) // 2
+        m.builder.meta["paths_found"] = found

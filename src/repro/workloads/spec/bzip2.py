@@ -1,0 +1,85 @@
+"""SPEC-like ``bzip2`` — Burrows-Wheeler block sorting.
+
+The compression-dominant phase of 401.bzip2: radix bucketing of suffix
+pointers by leading byte pair (counting sort over a 64 K-entry bucket
+array) followed by comparison sorting within buckets that chases suffix
+pointers into the text at data-dependent offsets.  The BWT output column is
+checked against a reference construction in the tests.
+"""
+
+from __future__ import annotations
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["Bzip2Workload", "bwt_last_column"]
+
+
+def bwt_last_column(data: bytes) -> bytes:
+    """Reference BWT last column (rotations, no sentinel) for verification."""
+    n = len(data)
+    doubled = data + data
+    order = sorted(range(n), key=lambda i: doubled[i : i + n])
+    return bytes(data[(i - 1) % n] for i in order)
+
+
+@register_workload
+class Bzip2Workload(Workload):
+    name = "bzip2"
+    suite = "spec"
+    description = "BWT block sort: radix bucketing + in-bucket suffix sorting"
+    access_pattern = "large bucket-count array + data-dependent text probes"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        n = self.scaled(12_000, scale, minimum=32)
+        text_arr = m.space.heap_array(1, n, "block")
+        ptr_arr = m.space.heap_array(4, n, "suffix_ptrs")
+        bucket_arr = m.space.heap_array(4, 65536, "bucket_counts")
+        # Compressible text: random walk over a small alphabet with runs.
+        vals = []
+        cur = 97
+        for _ in range(n):
+            if m.rng.random() < 0.3:
+                cur = int(m.rng.integers(97, 107))
+            vals.append(cur)
+        data = bytes(vals)
+        doubled = data + data
+
+        # Pass 1: count byte-pair buckets.
+        for i in range(n):
+            m.load_elem(text_arr, i)
+            pair = doubled[i] << 8 | doubled[i + 1]
+            m.load_elem(bucket_arr, pair)
+            m.store_elem(bucket_arr, pair)
+        # Pass 2: scatter pointers into buckets.
+        buckets: dict[int, list[int]] = {}
+        for i in range(n):
+            m.load_elem(text_arr, i)
+            pair = doubled[i] << 8 | doubled[i + 1]
+            m.load_elem(bucket_arr, pair)
+            m.store_elem(ptr_arr, i)
+            buckets.setdefault(pair, []).append(i)
+        # Pass 3: sort within buckets, probing the text per comparison.
+        order: list[int] = []
+        import functools
+
+        for pair in sorted(buckets):
+            group = buckets[pair]
+
+            def cmp(a: int, b: int) -> int:
+                # Compare rotations byte-wise; emit the probe loads.
+                for k in range(2, n):
+                    m.load(text_arr.addr((a + k) % n))
+                    m.load(text_arr.addr((b + k) % n))
+                    ca, cb = doubled[a + k], doubled[b + k]
+                    if ca != cb:
+                        return -1 if ca < cb else 1
+                return 0
+
+            group.sort(key=functools.cmp_to_key(cmp))
+            for p in group:
+                m.store_elem(ptr_arr, len(order) % n)
+                order.append(p)
+        last = bytes(data[(i - 1) % n] for i in order)
+        m.builder.meta["bwt_head"] = last[:16].hex()
+        m.builder.meta["n"] = n

@@ -1,0 +1,112 @@
+"""SPEC-like ``calculix`` — finite-element sparse solves.
+
+Mechanistic stand-in for 454.calculix's solver phase: conjugate-gradient
+iterations over a CSR sparse matrix assembled from a 2-D grid Laplacian
+(5-point stencil → banded sparsity).  Accesses: sequential row_ptr/value
+streams, *indirect* ``x[col]`` gathers with grid-bandwidth strides, dense
+vector updates.  At the default 64x64 grid the four CG vectors are each the
+size of the paper's L1 and sit at capacity-aligned heap offsets, so the
+element-wise x/r/p/Ap sweeps conflict multi-way under conventional indexing
+— the recurring-conflict behaviour that makes FEM solvers respond to index
+hashing.  CG convergence on the SPD system is asserted in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["CalculixWorkload", "grid_laplacian_csr"]
+
+
+def grid_laplacian_csr(side: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(row_ptr, col_idx, values) of the 5-point Laplacian on side×side."""
+    n = side * side
+    rows: list[int] = [0]
+    cols: list[int] = []
+    vals: list[float] = []
+    for y in range(side):
+        for x in range(side):
+            i = y * side + x
+            entries = [(i, 4.0)]
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < side and 0 <= ny < side:
+                    entries.append((ny * side + nx, -1.0))
+            entries.sort()
+            for j, v in entries:
+                cols.append(j)
+                vals.append(v)
+            rows.append(len(cols))
+    return (
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals, dtype=np.float64),
+    )
+
+
+@register_workload
+class CalculixWorkload(Workload):
+    name = "calculix"
+    suite = "spec"
+    description = "Conjugate-gradient FEM solve over a grid Laplacian (CSR)"
+    access_pattern = "CSR streaming + indirect x[col] gathers + vector sweeps"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        side = self.scaled(64, scale, minimum=6)
+        n = side * side
+        iters = self.scaled(30, scale, minimum=3)
+        row_ptr, col_idx, vals = grid_laplacian_csr(side)
+        rp_arr = m.space.heap_array(8, n + 1, "row_ptr")
+        ci_arr = m.space.heap_array(4, col_idx.size, "col_idx")
+        va_arr = m.space.heap_array(8, vals.size, "values")
+        x_arr = m.space.heap_array(8, n, "x")
+        r_arr = m.space.heap_array(8, n, "r")
+        p_arr = m.space.heap_array(8, n, "p")
+        ap_arr = m.space.heap_array(8, n, "Ap")
+
+        b = m.rng.normal(0, 1, size=n)
+        x = np.zeros(n)
+        r = b.copy()
+        p = r.copy()
+        rs_old = float(r @ r)
+        for it in range(iters):
+            # Ap = A @ p, emitted element-wise (the hot loop).
+            ap = np.zeros(n)
+            for i in range(n):
+                m.load_elem(rp_arr, i)
+                m.load_elem(rp_arr, i + 1)
+                acc = 0.0
+                for k in range(int(row_ptr[i]), int(row_ptr[i + 1])):
+                    m.load_elem(ci_arr, k)
+                    m.load_elem(va_arr, k)
+                    j = int(col_idx[k])
+                    m.load_elem(p_arr, j)
+                    acc += float(vals[k]) * p[j]
+                ap[i] = acc
+                m.store_elem(ap_arr, i)
+            denom = float(p @ ap)
+            for i in range(n):
+                m.load_elem(p_arr, i)
+                m.load_elem(ap_arr, i)
+            if denom == 0:
+                break
+            alpha = rs_old / denom
+            x += alpha * p
+            r -= alpha * ap
+            for i in range(n):
+                m.store_elem(x_arr, i)
+                m.store_elem(r_arr, i)
+            rs_new = float(r @ r)
+            for i in range(n):
+                m.load_elem(r_arr, i)
+            if rs_new < 1e-18:
+                break
+            p = r + (rs_new / rs_old) * p
+            for i in range(n):
+                m.store_elem(p_arr, i)
+            rs_old = rs_new
+        m.builder.meta["residual"] = rs_old
+        m.builder.meta["n"] = n

@@ -1,0 +1,90 @@
+"""SPEC-like ``hmmer`` — profile-HMM Viterbi dynamic programming.
+
+Mechanistic stand-in for 456.hmmer's P7Viterbi: three DP rows (match,
+insert, delete) swept sequentially per sequence position, per-state
+transition and emission score tables indexed by residue.  Row-sequential
+with hot score tables — highly regular, which is why hmmer sits in the
+"indexing changes little" group of the paper's Figure 8.
+
+The Viterbi score is cross-checked against a NumPy reference in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["HmmerWorkload", "viterbi_score"]
+
+_NEG = -1e30
+
+
+def viterbi_score(
+    seq: np.ndarray, match_emit: np.ndarray, transitions: np.ndarray
+) -> float:
+    """Reference DP (vectorised) for the simplified profile HMM used here."""
+    n_states = match_emit.shape[0]
+    t_mm, t_mi, t_im = transitions
+    m_row = np.full(n_states, _NEG)
+    i_row = np.full(n_states, _NEG)
+    m_row[0] = match_emit[0, seq[0]]
+    for pos in range(1, seq.size):
+        new_m = np.full(n_states, _NEG)
+        new_i = np.full(n_states, _NEG)
+        prev_best = np.maximum(m_row, i_row)
+        new_m[1:] = prev_best[:-1] + t_mm[1:] + match_emit[1:, seq[pos]]
+        new_i = np.maximum(m_row + t_mi, i_row + t_im)
+        m_row, i_row = new_m, new_i
+    return float(np.maximum(m_row, i_row).max())
+
+
+@register_workload
+class HmmerWorkload(Workload):
+    name = "hmmer"
+    suite = "spec"
+    description = "Profile-HMM Viterbi sweeps over random protein sequences"
+    access_pattern = "sequential DP rows + hot emission/transition tables"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        n_states = self.scaled(120, scale, minimum=8)
+        seq_len = self.scaled(400, scale, minimum=16)
+        n_seqs = self.scaled(6, scale, minimum=1)
+        me_arr = m.space.heap_array(4, n_states * 20, "match_emissions")
+        tr_arr = m.space.heap_array(4, 3 * n_states, "transitions")
+        mrow_arr = m.space.heap_array(4, n_states, "m_row")
+        irow_arr = m.space.heap_array(4, n_states, "i_row")
+        seq_arr = m.space.heap_array(1, seq_len, "sequence")
+
+        match_emit = m.rng.normal(0, 1, size=(n_states, 20))
+        transitions = m.rng.normal(-1, 0.3, size=(3, n_states))
+        t_mm, t_mi, t_im = transitions
+        best_overall = _NEG
+        for s in range(n_seqs):
+            seq = m.rng.integers(0, 20, size=seq_len)
+            m_row = np.full(n_states, _NEG)
+            i_row = np.full(n_states, _NEG)
+            m_row[0] = match_emit[0, seq[0]]
+            m.load_elem(seq_arr, 0)
+            m.store_elem(mrow_arr, 0)
+            for pos in range(1, seq_len):
+                m.load_elem(seq_arr, pos)
+                res = int(seq[pos])
+                new_m = np.full(n_states, _NEG)
+                for k in range(1, n_states):
+                    m.load_elem(mrow_arr, k - 1)
+                    m.load_elem(irow_arr, k - 1)
+                    m.load_elem(tr_arr, k)  # t_mm[k]
+                    m.load_elem(me_arr, k * 20 + res)
+                    new_m[k] = max(m_row[k - 1], i_row[k - 1]) + t_mm[k] + match_emit[k, res]
+                    m.store_elem(mrow_arr, k)
+                for k in range(n_states):
+                    m.load_elem(tr_arr, n_states + k)  # t_mi
+                    m.load_elem(tr_arr, 2 * n_states + k)  # t_im
+                    i_row[k] = max(m_row[k] + t_mi[k], i_row[k] + t_im[k])
+                    m.store_elem(irow_arr, k)
+                m_row = new_m
+            best = float(np.maximum(m_row, i_row).max())
+            best_overall = max(best_overall, best)
+        m.builder.meta["best_score"] = best_overall

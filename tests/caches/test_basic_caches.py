@@ -1,0 +1,200 @@
+"""Direct-mapped, set-associative and fully-associative model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import (
+    BeladyCache,
+    DirectMappedCache,
+    FullyAssociativeCache,
+    SetAssociativeCache,
+)
+from repro.core.indexing import XorIndexing
+from repro.core.simulator import simulate
+from repro.trace import Trace, sequential_sweep, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+def lru_reference_misses(blocks, num_sets, ways, index_fn):
+    """Oracle: per-set LRU lists in plain Python."""
+    sets: dict[int, list[int]] = {}
+    misses = 0
+    for b in blocks:
+        s = index_fn(b)
+        line = sets.setdefault(s, [])
+        if b in line:
+            line.remove(b)
+            line.append(b)
+        else:
+            misses += 1
+            if len(line) >= ways:
+                line.pop(0)
+            line.append(b)
+    return misses
+
+
+class TestDirectMapped:
+    def test_requires_one_way(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(CacheGeometry(1024, 32, 2))
+
+    def test_cold_then_hit(self):
+        c = DirectMappedCache(G)
+        assert not c.access(0x1000).hit
+        assert c.access(0x1000).hit
+        assert c.access(0x1010).hit  # same line
+        assert c.stats.misses == 1
+        assert c.stats.hits == 2
+
+    def test_conflict_eviction(self):
+        c = DirectMappedCache(G)
+        a, b = 0x0, 32 * 1024  # same set, different tags
+        c.access(a)
+        r = c.access(b)
+        assert not r.hit
+        assert r.evicted_block == 0
+        assert not c.access(a).hit
+
+    def test_contents_and_flush(self):
+        c = DirectMappedCache(G)
+        c.access(0x40)
+        c.access(0x80)
+        assert c.contents() == {2, 4}
+        c.flush()
+        assert c.contents() == set()
+
+    def test_against_oracle(self, zipf):
+        c = DirectMappedCache(G)
+        res = simulate(c, zipf)
+        blocks = [int(b) for b in zipf.blocks(G.offset_bits)]
+        expected = lru_reference_misses(blocks, G.num_sets, 1, lambda b: b & 1023)
+        assert res.misses == expected
+
+    def test_custom_indexing_changes_sets(self):
+        c = DirectMappedCache(G, XorIndexing(G))
+        addr = G.rebuild_address(tag=3, index=100)
+        r = c.access(addr)
+        assert r.primary_slot == XorIndexing(G).index_of(addr)
+
+
+class TestSetAssociative:
+    @pytest.mark.parametrize("ways", [2, 4, 8])
+    def test_against_lru_oracle(self, ways, zipf):
+        g = CacheGeometry(32 * 1024, 32, ways)
+        c = SetAssociativeCache(g, policy="lru")
+        res = simulate(c, zipf)
+        blocks = [int(b) for b in zipf.blocks(g.offset_bits)]
+        expected = lru_reference_misses(blocks, g.num_sets, ways, lambda b: b & (g.num_sets - 1))
+        assert res.misses == expected
+
+    def test_higher_associativity_helps_conflicts(self):
+        """k blocks aliasing one set all fit in a k-way cache."""
+        g2 = CacheGeometry(32 * 1024, 32, 2)
+        dm = DirectMappedCache(G)
+        sa = SetAssociativeCache(g2)
+        # Two blocks in the same 2-way set, round-robin.
+        addrs = np.tile(np.array([0, 64 * 1024], dtype=np.uint64), 100)
+        t = Trace(addrs, name="pair")
+        assert simulate(dm, t).misses > simulate(sa, t).misses
+
+    def test_fills_invalid_ways_first(self):
+        g = CacheGeometry(128, 32, 2, address_bits=16)
+        c = SetAssociativeCache(g)
+        c.access(0)
+        r = c.access(64)  # same set (2 sets of 2 ways)
+        assert r.evicted_block is None
+
+    def test_policy_shape_mismatch(self):
+        from repro.core.replacement import LRUPolicy
+
+        with pytest.raises(ValueError):
+            SetAssociativeCache(
+                CacheGeometry(1024, 32, 2), policy=LRUPolicy(4, 4)
+            )
+
+    def test_random_policy_deterministic(self, zipf):
+        g = CacheGeometry(4096, 32, 4)
+        r1 = simulate(SetAssociativeCache(g, policy="random", seed=3), zipf)
+        r2 = simulate(SetAssociativeCache(g, policy="random", seed=3), zipf)
+        assert r1.misses == r2.misses
+
+
+class TestFullyAssociative:
+    def test_no_conflict_misses(self):
+        """Any working set <= capacity incurs only cold misses."""
+        g = CacheGeometry(1024, 32, 1, address_bits=20)
+        c = FullyAssociativeCache(g)
+        addrs = np.tile(np.arange(32, dtype=np.uint64) * np.uint64(1024), 50)
+        res = simulate(c, Trace(addrs, name="resident"))
+        assert res.misses == 32  # one cold miss per block
+
+    def test_lru_eviction_order(self):
+        g = CacheGeometry(64, 32, 1, address_bits=16)  # 2 lines
+        c = FullyAssociativeCache(g)
+        c.access(0)
+        c.access(32)
+        c.access(64)  # evicts block 0
+        assert not c.access(0).hit
+
+    def test_fifo_vs_lru_differ(self):
+        g = CacheGeometry(64, 32, 1, address_bits=16)
+        lru = FullyAssociativeCache(g, policy="lru")
+        fifo = FullyAssociativeCache(g, policy="fifo")
+        pattern = [0, 32, 0, 64, 0]  # touch keeps 0 alive in LRU only
+        lru_hits = sum(lru.access(a).hit for a in pattern)
+        fifo_hits = sum(fifo.access(a).hit for a in pattern)
+        assert lru_hits > fifo_hits
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(G, policy="plru")
+
+
+class TestBelady:
+    def test_lower_bounds_lru(self, zipf):
+        g = CacheGeometry(2048, 32, 1, address_bits=32)
+        blocks = zipf.blocks(g.offset_bits).astype(np.int64)
+        belady = BeladyCache(g, blocks)
+        res_b = simulate(belady, zipf)
+        res_l = simulate(FullyAssociativeCache(g), zipf)
+        assert res_b.misses <= res_l.misses
+
+    def test_out_of_order_access_rejected(self):
+        g = CacheGeometry(64, 32, 1, address_bits=16)
+        c = BeladyCache(g, np.array([0, 1, 2], dtype=np.int64))
+        c.access(0)
+        with pytest.raises(RuntimeError):
+            c.access(0x40)  # trace says block 1 next
+
+    def test_optimal_on_cyclic_pattern(self):
+        """Cyclic sweep of N+1 blocks over N lines: MIN gets hits, LRU gets
+        zero — the textbook Belady example."""
+        g = CacheGeometry(64, 32, 1, address_bits=16)  # 2 lines
+        blocks = np.tile(np.array([0, 1, 2], dtype=np.int64), 20)
+        addrs = (blocks.astype(np.uint64)) << np.uint64(5)
+        t = Trace(addrs, name="cyclic")
+        res_b = simulate(BeladyCache(g, blocks), t)
+        res_l = simulate(FullyAssociativeCache(g), t)
+        assert res_l.miss_rate == 1.0
+        assert res_b.miss_rate < 1.0
+
+
+class TestStatsInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=300))
+    def test_two_layer_consistency(self, addrs):
+        c = DirectMappedCache(G)
+        for a in addrs:
+            c.access(a)
+        c.stats.check_invariants()
+
+    def test_miss_rate_bounds(self, uniform):
+        res = simulate(DirectMappedCache(G), uniform)
+        assert 0.0 <= res.miss_rate <= 1.0
+        assert res.hits + res.misses == res.accesses

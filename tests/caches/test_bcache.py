@@ -1,0 +1,112 @@
+"""B-cache tests (paper Section III.C, Zhang ISCA'06)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import BalancedCache, DirectMappedCache, SetAssociativeCache
+from repro.core.simulator import simulate
+from repro.trace import Trace, ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestParameters:
+    def test_eq6_eq7_relationship(self):
+        c = BalancedCache(G, mapping_factor=2, bas=2)
+        # Eq. (7): BAS = 2^OI / 2^NPI.
+        assert 2 ** G.index_bits // 2**c.npi_bits == 2
+        # Eq. (6): MF = 2^(PI+NPI) / 2^OI.
+        assert 2 ** (c.pi_bits + c.npi_bits) // 2 ** G.index_bits == 2
+        assert c.num_clusters == 512
+
+    def test_mf1_is_direct_mapped(self, zipf):
+        """MF = 1 gives each PI value exactly one line: identical behaviour
+        to the conventional direct-mapped cache."""
+        b = simulate(BalancedCache(G, mapping_factor=1, bas=2), zipf)
+        d = simulate(DirectMappedCache(G), zipf)
+        assert b.misses == d.misses
+
+    def test_rejects_bad_bas(self):
+        with pytest.raises(ValueError):
+            BalancedCache(G, bas=3)
+        with pytest.raises(ValueError):
+            BalancedCache(G, bas=1)
+
+    def test_rejects_bad_mf(self):
+        with pytest.raises(ValueError):
+            BalancedCache(G, mapping_factor=3)
+
+    def test_rejects_multiway_geometry(self):
+        with pytest.raises(ValueError):
+            BalancedCache(CacheGeometry(1024, 32, 2))
+
+
+class TestDecoderSemantics:
+    def test_same_pi_class_conflicts_like_direct_mapped(self):
+        """Blocks sharing PI+NPI bits are forced victims of each other."""
+        c = BalancedCache(G, mapping_factor=2, bas=2)
+        # Same cluster, same PI: blocks differing only above PI+NPI bits.
+        span = 1 << (c.npi_bits + c.pi_bits)
+        a = 0
+        b = span * 32  # byte address: block differs above the PI field
+        c.access(a)
+        r = c.access(b)
+        assert not r.hit and r.evicted_block == 0
+
+    def test_different_pi_classes_share_cluster(self):
+        """Blocks in one cluster but different PI classes coexist (the
+        balancing effect) — the ping-pong that kills a DM cache is fixed."""
+        c = BalancedCache(G, mapping_factor=2, bas=2)
+        a = 0
+        b = 32 * 1024  # same cluster, PI differs (bit OI flips => PI bit set)
+        assert c.pi_of(c.geometry.block_address(a)) != c.pi_of(c.geometry.block_address(b))
+        c.access(a)
+        c.access(b)
+        assert c.access(a).hit
+        assert c.access(b).hit
+
+    def test_between_dm_and_set_associative(self, zipf):
+        dm = simulate(DirectMappedCache(G), zipf).misses
+        b22 = simulate(BalancedCache(G, mapping_factor=2, bas=2), zipf).misses
+        sa2 = simulate(SetAssociativeCache(G.with_ways(2)), zipf).misses
+        # Balanced cache sits between the direct-mapped cache and the
+        # full 2-way set-associative cache of the same capacity.
+        assert b22 <= dm * 1.02
+        assert b22 >= sa2 * 0.98
+
+    def test_large_bas_approaches_8way(self):
+        """Zhang's claim: a big enough operating point tracks 8-way."""
+        t = zipf_trace(20_000, seed=4)
+        b = simulate(BalancedCache(G, mapping_factor=8, bas=8), t).misses
+        sa8 = simulate(SetAssociativeCache(G.with_ways(8)), t).misses
+        assert abs(b - sa8) / sa8 < 0.15
+
+    def test_invariants_under_stress(self):
+        rng = np.random.default_rng(9)
+        c = BalancedCache(G, mapping_factor=2, bas=4)
+        addrs = (rng.integers(0, 32, size=4000) * 32 * 1024
+                 + rng.integers(0, 8, size=4000) * 32)
+        for a in addrs:
+            c.access(int(a))
+        c.check_invariants()
+
+    def test_flush(self):
+        c = BalancedCache(G)
+        c.access(0x1234)
+        c.flush()
+        assert c.contents() == set()
+
+
+class TestStats:
+    def test_line_granular_slots(self):
+        c = BalancedCache(G, mapping_factor=2, bas=2)
+        assert c.stats.num_slots == G.num_lines
+
+    def test_ping_pong_fixed(self, ping_pong):
+        dm = simulate(DirectMappedCache(G), ping_pong)
+        b = simulate(BalancedCache(G), ping_pong)
+        assert dm.miss_rate == 1.0
+        assert b.miss_rate < 0.01

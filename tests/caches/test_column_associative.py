@@ -1,0 +1,145 @@
+"""Column-associative cache tests (paper Section III.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import ColumnAssociativeCache, DirectMappedCache
+from repro.core.indexing import PrimeModuloIndexing, XorIndexing
+from repro.core.simulator import simulate
+from repro.trace import Trace, ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestAlternateLocation:
+    def test_flips_msb(self):
+        c = ColumnAssociativeCache(G)
+        assert c.alternate_of(0) == 512
+        assert c.alternate_of(512) == 0
+        assert c.alternate_of(5) == 517
+
+    def test_involution(self):
+        c = ColumnAssociativeCache(G)
+        for s in range(0, 1024, 37):
+            assert c.alternate_of(c.alternate_of(s)) == s
+
+    def test_two_sets_minimum(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(CacheGeometry(32, 32, 1, address_bits=16))
+
+    def test_rejects_multiway(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(CacheGeometry(1024, 32, 2))
+
+
+class TestBehaviour:
+    def test_fixes_ping_pong(self, ping_pong):
+        """Two blocks aliasing one set: direct-mapped thrashes, the
+        column-associative pair holds both."""
+        dm = simulate(DirectMappedCache(G), ping_pong)
+        col = simulate(ColumnAssociativeCache(G), ping_pong)
+        assert dm.miss_rate == 1.0
+        assert col.miss_rate < 0.01
+
+    def test_rehash_hits_counted(self, ping_pong):
+        c = ColumnAssociativeCache(G)
+        simulate(c, ping_pong)
+        assert c.stats.extra.get("rehash_hits", 0) > 0
+        assert 0.0 < c.fraction_rehash_hits <= 1.0
+
+    def test_swap_promotes_to_primary(self):
+        c = ColumnAssociativeCache(G)
+        a, b = 0, 32 * 1024  # same primary set 0
+        c.access(a)  # a at set 0
+        c.access(b)  # b to set 0, a relocated to 512
+        r = c.access(a)  # rehash hit at 512, swap back
+        assert r.hit and r.cycles == 2 and r.hit_class == "rehash"
+        r2 = c.access(a)  # now a primary hit again
+        assert r2.hit and r2.cycles == 1
+
+    def test_rehash_marked_line_replaced_without_probe(self):
+        c = ColumnAssociativeCache(G)
+        a, b = 0, 32 * 1024
+        c.access(a)
+        c.access(b)  # a rehashed to set 512
+        # A block whose primary set is 512 misses there; rehash bit is set,
+        # so it claims the line directly (1 cycle, 'direct' miss class).
+        d = 512 * 32
+        r = c.access(d)
+        assert not r.hit and r.cycles == 1
+        assert c.stats.extra.get("direct_misses", 0) == 1
+
+    def test_three_way_aliasing_still_bounded(self):
+        """Three blocks on one set can't all live in two lines, but the
+        cache must not lose blocks entirely."""
+        c = ColumnAssociativeCache(G)
+        blocks = [0, 32 * 1024, 64 * 1024]
+        for _ in range(50):
+            for a in blocks:
+                c.access(a)
+        c.check_invariants()
+
+    def test_no_duplicate_blocks_property(self):
+        rng = np.random.default_rng(3)
+        c = ColumnAssociativeCache(G)
+        # Adversarial: few sets, many tags.
+        addrs = (rng.integers(0, 8, size=3000) * 32 * 1024
+                 + rng.integers(0, 4, size=3000) * 32)
+        for a in addrs:
+            c.access(int(a))
+        c.check_invariants()
+
+    def test_never_worse_than_direct_mapped_guarded(self):
+        """With the relocation guard, column-associative should not lose
+        to direct-mapped on representative traces."""
+        for seed in range(4):
+            t = zipf_trace(15_000, seed=seed)
+            dm = simulate(DirectMappedCache(G), t)
+            col = simulate(ColumnAssociativeCache(G), t)
+            assert col.misses <= dm.misses * 1.02, f"seed {seed}"
+
+    def test_unguarded_variant_runs(self, zipf):
+        c = ColumnAssociativeCache(G, protect_conventional=False)
+        res = simulate(c, zipf)
+        assert res.accesses == len(zipf)
+        c.check_invariants()
+
+
+class TestWithAlternateIndexing:
+    def test_xor_primary_index(self, zipf):
+        c = ColumnAssociativeCache(G, indexing=XorIndexing(G))
+        res = simulate(c, zipf)
+        assert res.accesses == len(zipf)
+        c.check_invariants()
+
+    def test_prime_modulo_alternate_reaches_fragmented_sets(self):
+        """With prime-modulo primary indexing, rehashing can place blocks in
+        the 3 fragmented sets (1021..1023) — reclaiming dead capacity."""
+        c = ColumnAssociativeCache(G, indexing=PrimeModuloIndexing(G))
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 1 << 26, size=30_000, dtype=np.uint64):
+            c.access(int(a))
+        touched = np.flatnonzero(c.stats.slot_accesses)
+        assert touched.max() >= 1021
+
+
+class TestAmatFractions:
+    def test_fractions_zero_when_idle(self):
+        c = ColumnAssociativeCache(G)
+        assert c.fraction_rehash_hits == 0.0
+        assert c.fraction_rehash_misses == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fraction_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        c = ColumnAssociativeCache(G)
+        for a in rng.integers(0, 1 << 22, size=500, dtype=np.uint64):
+            c.access(int(a))
+        assert 0.0 <= c.fraction_rehash_hits <= 1.0
+        assert 0.0 <= c.fraction_rehash_misses <= 1.0

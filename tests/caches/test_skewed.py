@@ -1,0 +1,81 @@
+"""Skewed-associative cache tests (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import (
+    DirectMappedCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+)
+from repro.core.simulator import simulate
+from repro.trace import Trace, ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestConstruction:
+    def test_bank_shape(self):
+        c = SkewedAssociativeCache(G, ways=2)
+        assert c.bank_geometry.num_sets == 512
+        assert c.stats.num_slots == G.num_lines
+
+    def test_rejects_single_bank(self):
+        with pytest.raises(ValueError):
+            SkewedAssociativeCache(G, ways=1)
+
+    def test_rejects_multiway_geometry(self):
+        with pytest.raises(ValueError):
+            SkewedAssociativeCache(CacheGeometry(32 * 1024, 32, 2))
+
+    def test_scheme_count_must_match(self):
+        from repro.core.indexing import ModuloIndexing
+
+        g_bank = CacheGeometry(16 * 1024, 32, 1)
+        with pytest.raises(ValueError):
+            SkewedAssociativeCache(G, ways=2, schemes=[ModuloIndexing(g_bank)])
+
+
+class TestBehaviour:
+    def test_fixes_ping_pong(self, ping_pong):
+        dm = simulate(DirectMappedCache(G), ping_pong)
+        sk = simulate(SkewedAssociativeCache(G), ping_pong)
+        assert dm.miss_rate == 1.0
+        assert sk.miss_rate < 0.01
+
+    def test_beats_two_way_on_stride_conflicts(self):
+        """Many blocks aliasing one conventional set: a 2-way set-assoc
+        cache holds two, the skewed cache spreads them across bank 1."""
+        blocks = np.arange(8, dtype=np.uint64) * np.uint64(32 * 1024)
+        t = Trace(np.tile(blocks, 60), name="stride8")
+        sa2 = simulate(SetAssociativeCache(G.with_ways(2)), t)
+        sk = simulate(SkewedAssociativeCache(G, ways=2), t)
+        assert sa2.miss_rate > 0.9
+        assert sk.miss_rate < sa2.miss_rate * 0.5
+
+    def test_competitive_with_two_way_generally(self, zipf):
+        sa2 = simulate(SetAssociativeCache(G.with_ways(2)), zipf)
+        sk = simulate(SkewedAssociativeCache(G, ways=2), zipf)
+        assert sk.misses <= sa2.misses * 1.15
+
+    def test_no_duplicates_under_stress(self):
+        rng = np.random.default_rng(4)
+        c = SkewedAssociativeCache(G, ways=2)
+        for a in rng.integers(0, 1 << 22, size=5000, dtype=np.uint64):
+            c.access(int(a))
+        c.check_invariants()
+
+    def test_four_banks(self, zipf):
+        c = SkewedAssociativeCache(G, ways=4)
+        res = simulate(c, zipf)
+        assert res.accesses == len(zipf)
+        c.check_invariants()
+
+    def test_flush(self):
+        c = SkewedAssociativeCache(G)
+        c.access(0x1000)
+        c.flush()
+        assert c.contents() == set()

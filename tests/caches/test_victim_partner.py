@@ -1,0 +1,94 @@
+"""Victim cache and partner-index cache tests (extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import DirectMappedCache, PartnerIndexCache, VictimCache
+from repro.core.simulator import simulate
+from repro.trace import Trace, ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestVictimCache:
+    def test_fixes_ping_pong(self, ping_pong):
+        dm = simulate(DirectMappedCache(G), ping_pong)
+        vc = simulate(VictimCache(G, victim_lines=4), ping_pong)
+        assert dm.miss_rate == 1.0
+        assert vc.miss_rate < 0.01
+
+    def test_victim_hit_is_two_cycles(self):
+        c = VictimCache(G, victim_lines=4)
+        a, b = 0, 32 * 1024
+        c.access(a)
+        c.access(b)  # a pushed to victim buffer
+        r = c.access(a)
+        assert r.hit and r.cycles == 2 and r.hit_class == "victim"
+
+    def test_buffer_capacity(self):
+        c = VictimCache(G, victim_lines=2)
+        # Alias 4 blocks on set 0; buffer holds only the last 2 victims.
+        blocks = [i * 32 * 1024 for i in range(4)]
+        for a in blocks:
+            c.access(a)
+        # blocks[3] in main; blocks[1], blocks[2] in the buffer; blocks[0] gone.
+        assert not c.access(blocks[0]).hit
+        c.check_invariants()
+
+    def test_no_block_duplicated(self, zipf):
+        c = VictimCache(G, victim_lines=8)
+        for a in zipf.addresses[:5000]:
+            c.access(int(a))
+        c.check_invariants()
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            VictimCache(G, victim_lines=0)
+
+    def test_beats_direct_mapped_on_conflict_heavy(self, zipf):
+        dm = simulate(DirectMappedCache(G), zipf)
+        vc = simulate(VictimCache(G, victim_lines=8), zipf)
+        assert vc.misses <= dm.misses
+
+
+class TestPartnerCache:
+    def test_learns_to_fix_ping_pong(self):
+        """After a rebalance period of misses, the hot set gets a partner
+        and the ping-pong becomes partner hits."""
+        t = ping_pong_trace(30_000)
+        c = PartnerIndexCache(G, rebalance_period=2048)
+        res = simulate(c, t)
+        dm = simulate(DirectMappedCache(G), t)
+        assert dm.miss_rate == 1.0
+        assert res.miss_rate < 0.5
+        assert c.live_links >= 1
+
+    def test_no_links_for_uniform_traffic(self, uniform):
+        c = PartnerIndexCache(G, rebalance_period=4096)
+        simulate(c, uniform)
+        # Uniform traffic has no cold lines to borrow: links stay rare.
+        assert c.live_links <= c.max_links
+
+    def test_partner_hit_costs_extra_cycle(self):
+        c = PartnerIndexCache(G, rebalance_period=64)
+        # Warm up misses on set 0 so it links to a cold partner.
+        for i in range(130):
+            c.access((i % 2) * 32 * 1024)
+        found = False
+        for i in range(130, 200):
+            r = c.access((i % 2) * 32 * 1024)
+            if r.hit and r.hit_class == "partner":
+                assert r.cycles == 2
+                found = True
+                break
+        assert found, "expected at least one partner hit after linking"
+
+    def test_flush_clears_links(self):
+        c = PartnerIndexCache(G)
+        c.access(0)
+        c.flush()
+        assert c.contents() == set()
+        assert c.live_links == 0

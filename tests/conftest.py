@@ -1,0 +1,52 @@
+"""Shared fixtures: geometries, traces, and tmp trace caches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.trace import Trace, hot_set_trace, ping_pong_trace, uniform_trace, zipf_trace
+
+
+@pytest.fixture
+def paper_geometry() -> CacheGeometry:
+    return PAPER_L1_GEOMETRY
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A 1 KiB / 16 B-line / 64-set cache: big enough to be interesting,
+    small enough for brute-force cross-checks."""
+    return CacheGeometry(capacity_bytes=1024, line_bytes=16, ways=1)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """8 sets with a 16-bit address: exhaustive enumeration territory."""
+    return CacheGeometry(capacity_bytes=128, line_bytes=16, ways=1, address_bits=16)
+
+
+@pytest.fixture
+def zipf() -> Trace:
+    return zipf_trace(20_000, seed=11)
+
+
+@pytest.fixture
+def uniform() -> Trace:
+    return uniform_trace(20_000, seed=12)
+
+
+@pytest.fixture
+def hot() -> Trace:
+    return hot_set_trace(20_000, seed=13)
+
+
+@pytest.fixture
+def ping_pong() -> Trace:
+    return ping_pong_trace(4_000)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

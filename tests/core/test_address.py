@@ -1,0 +1,139 @@
+"""CacheGeometry and bit-helper tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address import (
+    PAPER_L1_GEOMETRY,
+    PAPER_L2_GEOMETRY,
+    CacheGeometry,
+    extract_bits,
+    gather_bits,
+    gather_bits_vec,
+    ilog2,
+    is_power_of_two,
+)
+
+
+class TestPowerOfTwoHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(32) == 5
+        assert ilog2(1 << 20) == 20
+
+    def test_ilog2_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+
+class TestPaperGeometry:
+    """The exact Section-IV configuration."""
+
+    def test_l1_sets(self):
+        g = PAPER_L1_GEOMETRY
+        assert g.num_sets == 1024
+        assert g.index_bits == 10
+        assert g.offset_bits == 5
+        assert g.tag_bits == 17
+        assert g.num_lines == 1024
+
+    def test_l2_shape(self):
+        g = PAPER_L2_GEOMETRY
+        assert g.capacity_bytes == 256 * 1024
+        assert g.ways == 8
+
+    def test_describe_mentions_sets(self):
+        assert "1024 sets" in PAPER_L1_GEOMETRY.describe()
+
+
+class TestGeometryValidation:
+    def test_rejects_non_power_capacity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 32)
+
+    def test_rejects_line_bigger_than_cache(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(32, 64)
+
+    def test_rejects_excess_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(128, 32, ways=8)
+
+    def test_rejects_narrow_address(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1 << 20, 32, address_bits=10)
+
+    def test_with_ways(self):
+        g = PAPER_L1_GEOMETRY.with_ways(2)
+        assert g.num_sets == 512
+        assert g.num_lines == 1024
+
+
+class TestFieldExtraction:
+    def test_round_trip(self, paper_geometry):
+        g = paper_geometry
+        addr = 0xDEADBEEF & ((1 << g.address_bits) - 1)
+        rebuilt = g.rebuild_address(g.tag_of(addr), g.index_of(addr), g.offset_of(addr))
+        assert rebuilt == addr
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_round_trip_property(self, addr):
+        g = PAPER_L1_GEOMETRY
+        assert g.rebuild_address(g.tag_of(addr), g.index_of(addr), g.offset_of(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_index_in_range(self, addr):
+        g = PAPER_L1_GEOMETRY
+        assert 0 <= g.index_of(addr) < g.num_sets
+
+    def test_vectorised_matches_scalar(self, paper_geometry, rng):
+        g = paper_geometry
+        addrs = rng.integers(0, 1 << 32, size=500, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            g.indices_of(addrs), [g.index_of(int(a)) for a in addrs]
+        )
+        np.testing.assert_array_equal(g.tags_of(addrs), [g.tag_of(int(a)) for a in addrs])
+        np.testing.assert_array_equal(
+            g.block_addresses(addrs), [g.block_address(int(a)) for a in addrs]
+        )
+
+    def test_block_address_strips_offset(self, paper_geometry):
+        g = paper_geometry
+        assert g.block_address(0x1234) == 0x1234 >> 5
+        assert g.offset_of(0x1234) == 0x1234 & 31
+
+
+class TestBitGather:
+    def test_extract_bits(self):
+        assert extract_bits(0b1101100, 2, 3) == 0b011
+        assert extract_bits(0xFF, 0, 0) == 0
+
+    def test_gather_bits_order(self):
+        # positions[0] becomes the LSB.
+        assert gather_bits(0b1010, (1, 3)) == 0b11
+        assert gather_bits(0b1010, (3, 1)) == 0b11
+        assert gather_bits(0b1000, (3, 1)) == 0b01
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=10, unique=True),
+    )
+    def test_gather_vec_matches_scalar(self, value, positions):
+        positions = tuple(positions)
+        vec = gather_bits_vec(np.array([value], dtype=np.uint64), positions)
+        assert int(vec[0]) == gather_bits(value, positions)
+
+    def test_gather_identity_is_extract(self):
+        value = 0xABCD1234
+        assert gather_bits(value, tuple(range(5, 15))) == extract_bits(value, 5, 10)

@@ -1,0 +1,89 @@
+"""Dynamic index-switching cache tests (paper's future-work direction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY
+from repro.core.caches import DirectMappedCache
+from repro.core.dynamic import DynamicIndexCache
+from repro.core.indexing import (
+    GivargisIndexing,
+    ModuloIndexing,
+    OddMultiplierIndexing,
+    PrimeModuloIndexing,
+    XorIndexing,
+)
+from repro.core.simulator import simulate
+from repro.trace import Trace, strided_trace, uniform_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+def two_phase_trace(n_each: int = 40_000) -> Trace:
+    """Phase A: cache-friendly locality (modulo fine).  Phase B: capacity-
+    stride pathology (any hash fine, modulo catastrophic)."""
+    a = uniform_trace(n_each, span_bytes=16 * 1024, seed=1)  # resident WS
+    b = strided_trace(n_each, stride=32 * 1024, working_set=16 * 32 * 1024)
+    return a.concat(b).with_name("two_phase")
+
+
+def candidates():
+    return [
+        XorIndexing(G),
+        OddMultiplierIndexing(G, 31),
+        PrimeModuloIndexing(G),
+    ]
+
+
+class TestConstruction:
+    def test_rejects_trainable_candidates(self):
+        with pytest.raises(ValueError):
+            DynamicIndexCache(G, [GivargisIndexing(G)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DynamicIndexCache(G, [])
+
+    def test_starts_conventional(self):
+        c = DynamicIndexCache(G, candidates())
+        assert isinstance(c.current, ModuloIndexing)
+
+
+class TestAdaptation:
+    def test_switches_on_phase_change(self):
+        trace = two_phase_trace()
+        cache = DynamicIndexCache(G, candidates(), window=2048, history=8192)
+        simulate(cache, trace)
+        assert cache.switches >= 1
+        assert cache.stats.extra.get("scheme_switches", 0) == cache.switches
+
+    def test_beats_static_modulo_on_phased_trace(self):
+        trace = two_phase_trace()
+        dynamic = DynamicIndexCache(G, candidates(), window=2048, history=8192)
+        dyn = simulate(dynamic, trace)
+        static = simulate(DirectMappedCache(G), trace)
+        assert dyn.misses < static.misses * 0.6
+
+    def test_stays_put_on_stable_trace(self):
+        trace = uniform_trace(60_000, span_bytes=16 * 1024, seed=4)
+        cache = DynamicIndexCache(G, candidates(), window=2048)
+        simulate(cache, trace)
+        assert cache.switches == 0
+
+    def test_switch_log_records_tick_and_name(self):
+        trace = two_phase_trace()
+        cache = DynamicIndexCache(G, candidates(), window=2048)
+        simulate(cache, trace)
+        for tick, name in cache.switch_log:
+            assert 0 < tick <= len(trace)
+            assert name in {"xor", "odd_multiplier", "prime_modulo", "modulo"}
+
+    def test_flush_cost_is_real(self):
+        """Immediately after a switch the cache re-faults its working set."""
+        trace = two_phase_trace(20_000)
+        cache = DynamicIndexCache(G, candidates(), window=2048)
+        simulate(cache, trace)
+        if cache.switches:
+            assert cache.contents() != set()  # refilled after flush

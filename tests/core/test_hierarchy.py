@@ -1,0 +1,64 @@
+"""Two-level hierarchy tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, PAPER_L2_GEOMETRY, CacheGeometry
+from repro.core.amat import TimingModel
+from repro.core.caches import ColumnAssociativeCache, DirectMappedCache
+from repro.core.hierarchy import CacheHierarchy
+from repro.trace import Trace, sequential_sweep, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestHierarchy:
+    def test_l2_filters_l1_misses(self, zipf):
+        h = CacheHierarchy(DirectMappedCache(G))
+        res = h.run(zipf)
+        assert res.l2.accesses == res.l1.misses
+        assert res.l2.misses <= res.l1.misses
+
+    def test_amat_between_l1_and_memory(self, zipf):
+        t = TimingModel(miss_penalty=18, l2_miss_penalty=120)
+        h = CacheHierarchy(DirectMappedCache(G), timing=t)
+        res = h.run(zipf)
+        assert 1.0 <= res.amat <= 1.0 + 120.0
+
+    def test_effective_miss_penalty_bounds(self, zipf):
+        t = TimingModel(miss_penalty=18, l2_miss_penalty=120)
+        h = CacheHierarchy(DirectMappedCache(G), timing=t)
+        res = h.run(zipf)
+        assert 18.0 <= res.effective_miss_penalty <= 120.0
+
+    def test_l2_inclusive_of_reuse(self):
+        """A block that bounces out of L1 should still hit in L2."""
+        # Two blocks conflict in L1 (32 KiB apart) but live in different
+        # L2 sets (8-way 1024-set L2: 32 KiB apart => different sets? same
+        # index? 256KiB/32B/8 = 1024 sets; blocks 1024 apart alias in L2 too.
+        # Use 3 conflicting blocks: L1 thrashes, L2 8-way holds all.
+        blocks = np.array([0, 32 * 1024, 64 * 1024] * 50, dtype=np.uint64)
+        t = Trace(blocks, name="alias3")
+        h = CacheHierarchy(DirectMappedCache(G))
+        res = h.run(t)
+        assert res.l1.miss_rate > 0.9
+        assert res.l2.misses == 3  # cold only
+
+    def test_better_l1_reduces_total_cycles(self, ping_pong):
+        base = CacheHierarchy(DirectMappedCache(G)).run(ping_pong)
+        col = CacheHierarchy(ColumnAssociativeCache(G)).run(ping_pong)
+        assert col.total_cycles < base.total_cycles
+
+    def test_custom_l2_geometry(self, zipf):
+        small_l2 = CacheGeometry(64 * 1024, 32, 4)
+        h = CacheHierarchy(DirectMappedCache(G), l2_geometry=small_l2)
+        res = h.run(zipf)
+        big = CacheHierarchy(DirectMappedCache(G)).run(zipf)
+        assert res.l2.misses >= big.l2.misses
+
+    def test_empty_trace(self):
+        h = CacheHierarchy(DirectMappedCache(G))
+        res = h.run(Trace(np.array([], dtype=np.uint64)))
+        assert res.amat == 0.0

@@ -1,0 +1,98 @@
+"""Small public-API surface tests: package exports, stats helpers,
+workload scaling, config immutability."""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.caches.base import AccessResult, CacheStats
+from repro.experiments import PaperConfig
+from repro.workloads.base import Workload
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_symbols_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_paper_geometry_is_the_default_everywhere(self):
+        assert PaperConfig().geometry is repro.PAPER_L1_GEOMETRY
+
+
+class TestCacheStats:
+    def test_fraction_with_builtin_denominator(self):
+        s = CacheStats(4)
+        s.accesses = 10
+        s.bump("rehash_hits", 3)
+        assert s.fraction("rehash_hits", "accesses") == pytest.approx(0.3)
+
+    def test_fraction_with_extra_denominator(self):
+        s = CacheStats(4)
+        s.bump("rehash_hits", 2)
+        s.bump("probes2", 8)
+        assert s.fraction("rehash_hits", "probes2") == pytest.approx(0.25)
+
+    def test_fraction_zero_base(self):
+        s = CacheStats(4)
+        assert s.fraction("anything") == 0.0
+
+    def test_summary_merges_extra(self):
+        s = CacheStats(4)
+        s.accesses = 2
+        s.bump("out_hits")
+        summary = s.summary()
+        assert summary["out_hits"] == 1
+        assert summary["accesses"] == 2
+
+    def test_invariant_violation_detected(self):
+        s = CacheStats(4)
+        s.accesses = 5
+        s.hits = 2
+        s.misses = 2  # 2+2 != 5
+        with pytest.raises(AssertionError):
+            s.check_invariants()
+
+
+class TestAccessResult:
+    def test_defaults(self):
+        r = AccessResult(True, 1, 0, 0)
+        assert r.evicted_block is None
+        assert r.hit_class == ""
+
+
+class TestWorkloadScaled:
+    def test_scaling_math(self):
+        assert Workload.scaled(100, 0.5) == 50
+        assert Workload.scaled(100, 0.001, minimum=8) == 8
+        assert Workload.scaled(3, 1.0) == 3
+
+    def test_rounding(self):
+        assert Workload.scaled(10, 0.25) == 2  # round(2.5) banker's -> 2
+
+
+class TestPaperConfig:
+    def test_frozen(self):
+        cfg = PaperConfig()
+        with pytest.raises(FrozenInstanceError):
+            cfg.seed = 1  # type: ignore[misc]
+
+    def test_scaled_down_preserves_other_fields(self):
+        cfg = PaperConfig().scaled_down(1000, scale=0.5)
+        assert cfg.ref_limit == 1000
+        assert cfg.workload_scale == 0.5
+        assert cfg.seed == PaperConfig().seed
+        assert cfg.geometry is PaperConfig().geometry
+
+    def test_paper_constants(self):
+        cfg = PaperConfig()
+        assert cfg.geometry.num_sets == 1024
+        assert cfg.sht_fraction == pytest.approx(3 / 8)
+        assert cfg.out_fraction == pytest.approx(1 / 4)
+        assert cfg.smt_multipliers == (9, 31, 21, 61)

@@ -1,0 +1,169 @@
+"""Replacement-policy tests, including an oracle cross-check for LRU."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replacement import (
+    POLICIES,
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICIES) == {"lru", "fifo", "random", "plru", "mru", "lfu"}
+
+    def test_make_policy(self):
+        p = make_policy("lru", 4, 2)
+        assert isinstance(p, LRUPolicy)
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_policy("belady", 4, 2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0, 2)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        p = LRUPolicy(1, 4)
+        for way in range(4):
+            p.touch(0, way)
+        p.touch(0, 0)  # way 1 now oldest
+        assert p.victim(0) == 1
+
+    def test_untouched_ways_preferred(self):
+        p = LRUPolicy(2, 4)
+        p.touch(0, 0)
+        p.touch(0, 2)
+        assert p.victim(0) in (1, 3)
+
+    def test_sets_independent(self):
+        p = LRUPolicy(2, 2)
+        p.touch(0, 0)
+        p.touch(0, 1)
+        # Set 1 untouched: any way is a valid victim (stamp -1).
+        assert p.victim(1) in (0, 1)
+        assert p.victim(0) == 0
+
+    def test_invalidate_resets(self):
+        p = LRUPolicy(1, 2)
+        p.touch(0, 0)
+        p.touch(0, 1)
+        p.invalidate(0, 1)
+        assert p.victim(0) == 1
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+    def test_against_ordered_dict_oracle(self, touches):
+        """LRUPolicy.victim must agree with an OrderedDict LRU model."""
+        p = LRUPolicy(1, 4)
+        oracle: OrderedDict[int, None] = OrderedDict((w, None) for w in range(4))
+        for way in touches:
+            p.touch(0, way)
+            oracle.move_to_end(way)
+        assert p.victim(0) == next(iter(oracle))
+
+
+class TestFIFO:
+    def test_hits_do_not_reorder(self):
+        p = FIFOPolicy(1, 2)
+        p.fill(0, 0)
+        p.fill(0, 1)
+        p.touch(0, 0)  # a hit
+        assert p.victim(0) == 0
+
+    def test_fill_order(self):
+        p = FIFOPolicy(1, 3)
+        for way in (2, 0, 1):
+            p.fill(0, way)
+        assert p.victim(0) == 2
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(1, 8, seed=42)
+        b = RandomPolicy(1, 8, seed=42)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_reset_replays(self):
+        p = RandomPolicy(1, 8, seed=7)
+        first = [p.victim(0) for _ in range(10)]
+        p.reset()
+        assert [p.victim(0) for _ in range(10)] == first
+
+    def test_in_range(self):
+        p = RandomPolicy(1, 4, seed=0)
+        assert all(0 <= p.victim(0) < 4 for _ in range(100))
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PLRUPolicy(1, 3)
+
+    def test_victim_avoids_most_recent(self):
+        p = PLRUPolicy(1, 4)
+        for way in range(4):
+            p.touch(0, way)
+        # The most recently touched way is never the PLRU victim.
+        assert p.victim(0) != 3
+
+    def test_two_way_is_exact_lru(self):
+        p = PLRUPolicy(1, 2)
+        lru = LRUPolicy(1, 2)
+        rng = np.random.default_rng(0)
+        for way in rng.integers(0, 2, size=50):
+            p.touch(0, int(way))
+            lru.touch(0, int(way))
+            assert p.victim(0) == lru.victim(0)
+
+    def test_single_way(self):
+        p = PLRUPolicy(1, 1)
+        p.touch(0, 0)
+        assert p.victim(0) == 0
+
+
+class TestMRU:
+    def test_evicts_most_recent_when_full(self):
+        p = MRUPolicy(1, 3)
+        for way in range(3):
+            p.touch(0, way)
+        assert p.victim(0) == 2
+
+    def test_prefers_untouched(self):
+        p = MRUPolicy(1, 3)
+        p.touch(0, 0)
+        assert p.victim(0) == 1
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFUPolicy(1, 3)
+        for way, count in ((0, 5), (1, 2), (2, 7)):
+            for _ in range(count):
+                p.touch(0, way)
+        assert p.victim(0) == 1
+
+    def test_fill_resets_count(self):
+        p = LFUPolicy(1, 2)
+        for _ in range(10):
+            p.touch(0, 0)
+        p.touch(0, 1)
+        p.touch(0, 1)
+        p.fill(0, 0)  # new block in way 0: count back to 1
+        assert p.victim(0) == 0

@@ -1,0 +1,56 @@
+"""Scheme-selector tests (the paper's Figure-5 mechanism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY
+from repro.core.selector import SchemeSelector, profile_schemes
+from repro.trace import Trace, ping_pong_trace, uniform_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestProfileSchemes:
+    def test_scores_sorted_best_first(self, zipf):
+        scores = profile_schemes(zipf, G, ["xor", "odd_multiplier", "prime_modulo"])
+        misses = [s.misses for s in scores]
+        assert misses == sorted(misses)
+
+    def test_ping_pong_prefers_any_hash(self, ping_pong):
+        scores = profile_schemes(ping_pong, G, ["xor", "modulo"])
+        assert scores[0].scheme_name == "xor"
+        assert scores[0].reduction_vs_baseline_pct > 90
+
+    def test_accepts_scheme_specs(self, zipf):
+        scores = profile_schemes(
+            zipf, G, [("odd_multiplier", {"multiplier": 61}), "xor"]
+        )
+        assert {s.scheme_name for s in scores} == {"odd_multiplier", "xor"}
+
+    def test_trainable_schemes_fitted(self, zipf):
+        scores = profile_schemes(zipf, G, ["givargis"])
+        assert scores[0].scheme_name == "givargis"
+
+
+class TestSchemeSelector:
+    def test_defaults_to_baseline_when_no_gain(self):
+        """Conventional indexing stays the default (paper's Figure 5)."""
+        t = uniform_trace(20_000, seed=5, name="uniform-app")
+        sel = SchemeSelector(G, ["xor", "odd_multiplier"])
+        choice = sel.choose(t)
+        # On a uniform trace no scheme helps; selector keeps modulo.
+        if choice.reduction_vs_baseline_pct <= 0:
+            assert choice.scheme_name == "modulo"
+
+    def test_picks_winner_for_pathological_app(self, ping_pong):
+        sel = SchemeSelector(G, ["xor"])
+        choice = sel.choose(ping_pong)
+        assert choice.scheme_name == "xor"
+
+    def test_choice_cached_per_application(self, ping_pong):
+        sel = SchemeSelector(G, ["xor"])
+        first = sel.choose(ping_pong)
+        assert sel.choose(ping_pong) is first
+        assert ping_pong.name in sel.choices

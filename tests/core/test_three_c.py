@@ -1,0 +1,71 @@
+"""3C miss-classification tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.caches import DirectMappedCache, SetAssociativeCache
+from repro.core.three_c import classify, cold_miss_count
+from repro.trace import Trace, ping_pong_trace, sequential_sweep, uniform_trace
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestColdMisses:
+    def test_counts_unique_blocks(self):
+        t = sequential_sweep(100, stride=32)
+        assert cold_miss_count(t, G) == 100
+
+    def test_repeats_do_not_count(self):
+        t = Trace(np.array([0, 0, 32, 0], dtype=np.uint64))
+        assert cold_miss_count(t, G) == 2
+
+
+class TestClassify:
+    def test_pure_cold_trace(self):
+        """A single resident sweep: every miss is compulsory."""
+        t = sequential_sweep(512, stride=32)  # 16 KiB, fits the cache
+        b = classify(DirectMappedCache(G), t, G)
+        assert b.total == b.cold == 512
+        assert b.capacity == 0
+        assert b.conflict == 0
+
+    def test_pure_conflict_trace(self):
+        """Two aliasing blocks: everything beyond the 2 cold misses is
+        conflict (the fully-associative cache holds both)."""
+        t = ping_pong_trace(1000)
+        b = classify(DirectMappedCache(G), t, G)
+        assert b.cold == 2
+        assert b.capacity == 0
+        assert b.conflict == b.total - 2
+        assert b.share("conflict") > 0.99
+
+    def test_pure_capacity_trace(self):
+        """A cyclic sweep of 2x the cache: LRU full-assoc misses everything,
+        so the direct-mapped 'conflict' component is ~0."""
+        blocks = np.tile(np.arange(2048, dtype=np.uint64) * 32, 5)
+        t = Trace(blocks, name="cyclic2x")
+        b = classify(DirectMappedCache(G), t, G)
+        assert b.capacity > 0
+        # Direct-mapped placement actually *beats* LRU on cyclic sweeps:
+        # conflict may be <= 0 (the documented caveat).
+        assert b.conflict <= 0
+
+    def test_components_sum_to_total(self):
+        t = uniform_trace(20_000, seed=5)
+        b = classify(DirectMappedCache(G), t, G)
+        assert b.cold + b.capacity + b.conflict == b.total
+        assert 0.0 <= b.miss_rate <= 1.0
+
+    def test_higher_associativity_shrinks_conflict(self):
+        t = ping_pong_trace(1000)
+        dm = classify(DirectMappedCache(G), t, G)
+        sa = classify(SetAssociativeCache(G.with_ways(2)), t, G)
+        assert sa.conflict < dm.conflict
+
+    def test_as_dict(self):
+        t = ping_pong_trace(100)
+        d = classify(DirectMappedCache(G), t, G).as_dict()
+        assert set(d) == {"total", "cold", "capacity", "conflict", "miss_rate"}

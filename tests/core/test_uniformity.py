@@ -1,0 +1,162 @@
+"""Uniformity metric tests, cross-checked against scipy.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.uniformity import (
+    distribution_moments,
+    gini_coefficient,
+    half_double_buckets,
+    kurtosis,
+    normalized_entropy,
+    percent_increase,
+    percent_reduction,
+    skewness,
+    uniformity_report,
+    zhang_classification,
+)
+
+counts_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=2, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestMoments:
+    @settings(max_examples=100)
+    @given(counts_strategy)
+    def test_matches_scipy(self, counts):
+        if np.ptp(counts) == 0:
+            return  # degenerate handled separately
+        _, _, skew, kurt = distribution_moments(counts)
+        assert skew == pytest.approx(scipy.stats.skew(counts), abs=1e-9)
+        assert kurt == pytest.approx(scipy.stats.kurtosis(counts), abs=1e-9)
+
+    def test_degenerate_distribution(self):
+        mean, std, skew, kurt = distribution_moments(np.full(10, 7.0))
+        assert (mean, std, skew, kurt) == (7.0, 0.0, 0.0, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            distribution_moments(np.array([]))
+
+    def test_flat_distribution_platykurtic(self):
+        """A uniform (flat) distribution has negative excess kurtosis —
+        the 'extreme case' the paper references."""
+        flat = np.arange(1000, dtype=np.float64)
+        assert kurtosis(flat) == pytest.approx(-1.2, abs=0.01)
+
+    def test_spike_is_leptokurtic(self):
+        spike = np.zeros(1000)
+        spike[3] = 1e6
+        assert kurtosis(spike) > 100
+        assert skewness(spike) > 10
+
+    def test_symmetric_has_zero_skew(self):
+        # Deviations from the mean are exactly mirrored.
+        sym = np.array([0, 1, 1, 2, 5, 6, 6, 7], dtype=float)
+        assert skewness(sym) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPercentChange:
+    def test_reduction_positive_for_improvement(self):
+        assert percent_reduction(50, 100) == 50.0
+        assert percent_reduction(150, 100) == -50.0
+
+    def test_reduction_zero_baseline(self):
+        assert percent_reduction(0.0, 0.0) == 0.0
+        assert percent_reduction(5.0, 0.0) == -1e9  # the paper's -5e8-style bar
+
+    def test_increase_signs(self):
+        assert percent_increase(150, 100) == 50.0
+        assert percent_increase(50, 100) == -50.0
+
+    def test_increase_negative_baseline(self):
+        # Moments can be negative; change is relative to |baseline|.
+        assert percent_increase(-1.0, -2.0) == 50.0
+
+    def test_increase_zero_baseline(self):
+        assert percent_increase(0.0, 0.0) == 0.0
+        assert percent_increase(3.0, 0.0) == 1e9
+
+
+class TestZhangClassification:
+    def test_uniform_sets_have_no_extremes(self):
+        n = 100
+        flat = np.full(n, 10.0)
+        z = zhang_classification(flat, flat, flat)
+        assert z["FHS%"] == 0.0 or z["FHS%"] == 100.0  # all equal: >= 2x mean impossible
+        assert z["LAS%"] == 0.0
+
+    def test_hot_cold_split(self):
+        accesses = np.array([100.0] * 10 + [1.0] * 90)
+        hits = accesses * 0.9
+        misses = accesses * 0.1
+        z = zhang_classification(accesses, hits, misses)
+        assert z["FHS%"] == pytest.approx(10.0)
+        assert z["FMS%"] == pytest.approx(10.0)
+        assert z["LAS%"] == pytest.approx(90.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            zhang_classification(np.array([]), np.array([]), np.array([]))
+
+
+class TestBuckets:
+    def test_figure1_style_distribution(self):
+        # 90% of sets nearly idle, 10% hot: the paper's FFT shape.
+        counts = np.array([1.0] * 900 + [500.0] * 100)
+        below, above = half_double_buckets(counts)
+        assert below == pytest.approx(90.0)
+        assert above == pytest.approx(10.0)
+
+    def test_all_zero(self):
+        below, above = half_double_buckets(np.zeros(10))
+        assert (below, above) == (100.0, 0.0)
+
+
+class TestGiniEntropy:
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        x = np.zeros(1000)
+        x[0] = 1000
+        assert gini_coefficient(x) > 0.99
+
+    @settings(max_examples=50)
+    @given(counts_strategy)
+    def test_gini_bounds(self, counts):
+        g = gini_coefficient(counts)
+        assert -1e-9 <= g <= 1.0
+
+    def test_entropy_uniform_is_one(self):
+        assert normalized_entropy(np.full(64, 3.0)) == pytest.approx(1.0)
+
+    def test_entropy_concentrated_near_zero(self):
+        x = np.zeros(64)
+        x[5] = 100
+        assert normalized_entropy(x) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReport:
+    def test_report_fields(self):
+        counts = np.array([1.0] * 900 + [500.0] * 100)
+        rep = uniformity_report(counts)
+        d = rep.as_dict()
+        assert d["below_half_pct"] == pytest.approx(90.0)
+        assert d["gini"] > 0.5
+        assert set(d) == {
+            "mean",
+            "std",
+            "skewness",
+            "kurtosis",
+            "gini",
+            "entropy",
+            "below_half_pct",
+            "above_double_pct",
+        }

@@ -1,0 +1,52 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig4", "--refs", "1000"])
+        assert args.experiment == "fig4" and args.refs == 1000
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "xor" in out and "fig4" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo,xor"]) == 0
+        out = capsys.readouterr().out
+        assert "miss_rate" in out
+
+    def test_trace_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        assert main(["trace", "bitcount", "--refs", "2000", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.trace.io import load_npz
+
+        assert len(load_npz(out_file)) == 2000
+
+    def test_trace_din(self, tmp_path):
+        out_file = tmp_path / "t.din"
+        assert main(["trace", "bitcount", "--refs", "500", "--out", str(out_file),
+                     "--format", "din"]) == 0
+        assert out_file.read_text().count("\n") >= 500
+
+    def test_run_experiment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # trace cache lands in tmp
+        md = tmp_path / "out.md"
+        assert main(["run", "fig1", "--refs", "20000", "--out", str(md)]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert md.read_text().startswith("### fig1")

@@ -1,0 +1,32 @@
+"""CLI uniformity-command tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUniformityCommand:
+    def test_basic_output(self, capsys):
+        assert main(["uniformity", "--workload", "crc", "--refs", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+        assert "accesses/set" in out
+        assert "Zhang classes" in out
+
+    def test_alternative_scheme(self, capsys):
+        assert main(
+            ["uniformity", "--workload", "crc", "--refs", "5000", "--scheme", "xor"]
+        ) == 0
+        assert "under xor" in capsys.readouterr().out
+
+    def test_trainable_scheme_fitted_inline(self, capsys):
+        assert main(
+            ["uniformity", "--workload", "crc", "--refs", "5000", "--scheme", "givargis"]
+        ) == 0
+        assert "under givargis" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["uniformity", "--workload", "nope", "--refs", "100"])

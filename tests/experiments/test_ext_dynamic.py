@@ -1,0 +1,47 @@
+"""ext-dynamic experiment tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import PaperConfig, run_experiment
+from repro.experiments.ext_dynamic import PHASE_PAIRS
+
+
+@pytest.fixture(scope="module")
+def config(tmp_path_factory) -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=30_000,
+        trace_cache_dir=tmp_path_factory.mktemp("traces-dyn"),
+    )
+
+
+class TestExtDynamic:
+    def test_rows_are_phase_pairs(self, config):
+        r = run_experiment("ext-dynamic", config)
+        assert len(r.rows) == len(PHASE_PAIRS) + 1
+
+    def test_dynamic_beats_worst_static(self, config):
+        """On average the switching cache must beat the weaker fixed choice
+        (it can always fall back to it) — the profiling-free value claim."""
+        r = run_experiment("ext-dynamic", config)
+        avg = r.rows["Average"]
+        assert avg["dynamic"] >= min(avg["static_xor"], avg["static_odd"]) - 5.0
+
+    def test_dynamic_bounded_by_best_static_plus_noise(self, config):
+        """Switching pays flush costs, so it cannot magically exceed the
+        per-pair best static by much."""
+        r = run_experiment("ext-dynamic", config)
+        for label, row in r.rows.items():
+            if label == "Average":
+                continue
+            assert row["dynamic"] <= row["best_static"] + 10.0
+
+    def test_switch_counts_recorded(self, config):
+        r = run_experiment("ext-dynamic", config)
+        keys = [k for k in r.arrays if k.endswith("/switches")]
+        assert len(keys) == len(PHASE_PAIRS)
+        assert any(r.arrays[k] >= 1 for k in keys)

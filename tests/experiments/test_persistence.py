@@ -1,0 +1,51 @@
+"""ExperimentResult save/load round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ExperimentResult, load_result, save_result
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    r = ExperimentResult("figZ", "demo", columns=["A", "B"], unit="%")
+    r.add_row("x", {"A": 1.5, "B": -2.0})
+    r.add_row("y", {"A": 3.0})
+    r.note("a note")
+    r.arrays["per_set"] = np.arange(16, dtype=np.int64)
+    r.arrays["scalar"] = 42
+    r.arrays["unserialisable"] = object()
+    return r
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "fig.json")
+        back = load_result(path)
+        assert back.experiment_id == "figZ"
+        assert back.columns == ["A", "B"]
+        assert back.rows == result.rows
+        assert back.notes == ["a note"]
+        assert back.unit == "%"
+
+    def test_arrays_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "fig.json")
+        back = load_result(path)
+        np.testing.assert_array_equal(back.arrays["per_set"], np.arange(16))
+        assert back.arrays["scalar"] == 42
+        assert "unserialisable" not in back.arrays
+
+    def test_no_npz_when_no_arrays(self, tmp_path):
+        r = ExperimentResult("f", "t", ["A"])
+        r.add_row("x", {"A": 1.0})
+        path = save_result(r, tmp_path / "f.json")
+        assert not path.with_suffix(".npz").exists()
+        assert load_result(path).rows == {"x": {"A": 1.0}}
+
+    def test_rendering_survives_round_trip(self, result, tmp_path):
+        from repro.experiments.report import render_table
+
+        back = load_result(save_result(result, tmp_path / "f.json"))
+        assert render_table(back) == render_table(result)

@@ -1,0 +1,87 @@
+"""ExperimentResult / rendering tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ExperimentResult, render_bars, render_table, sparkline
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    r = ExperimentResult("figX", "demo", columns=["A", "B"])
+    r.add_row("bench1", {"A": 10.0, "B": -5.0})
+    r.add_row("bench2", {"A": 30.0, "B": 15.0})
+    return r
+
+
+class TestExperimentResult:
+    def test_undeclared_column_rejected(self, result):
+        with pytest.raises(KeyError):
+            result.add_row("x", {"C": 1.0})
+
+    def test_average_row(self, result):
+        result.add_average_row()
+        assert result.value("Average", "A") == pytest.approx(20.0)
+        assert result.value("Average", "B") == pytest.approx(5.0)
+
+    def test_average_requires_rows(self):
+        with pytest.raises(ValueError):
+            ExperimentResult("f", "t", ["A"]).add_average_row()
+
+    def test_column_excludes_average(self, result):
+        result.add_average_row()
+        col = result.column("A")
+        assert "Average" not in col
+        assert result.column("A", include_average=True)["Average"] == 20.0
+
+    def test_notes(self, result):
+        result.note("hello")
+        assert "hello" in str(result)
+
+
+class TestRendering:
+    def test_table_contains_all_cells(self, result):
+        text = render_table(result)
+        for token in ("bench1", "bench2", "10.00", "-5.00"):
+            assert token in text
+
+    def test_markdown_table(self, result):
+        md = result.to_markdown()
+        assert md.startswith("### figX")
+        assert "|" in md
+
+    def test_missing_cell_rendered_as_dash(self):
+        r = ExperimentResult("f", "t", ["A", "B"])
+        r.add_row("x", {"A": 1.0})
+        assert "-" in render_table(r)
+
+    def test_huge_values_scientific(self):
+        r = ExperimentResult("f", "t", ["A"])
+        r.add_row("x", {"A": -5e8})
+        assert "e+" in render_table(r).lower() or "e-" in render_table(r).lower()
+
+    def test_bars(self, result):
+        bars = render_bars(result, "A")
+        assert "bench1" in bars and "+" in bars
+
+    def test_bars_empty(self):
+        r = ExperimentResult("f", "t", ["A"])
+        assert render_bars(r, "A") == "(no data)"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_length_capped(self):
+        assert len(sparkline(np.arange(1000), width=64)) == 64
+
+    def test_peak_visible_after_downsample(self):
+        x = np.zeros(1000)
+        x[500] = 100
+        assert "█" in sparkline(x, width=50)
+
+    def test_all_zero(self):
+        assert set(sparkline(np.zeros(10))) == {" "}

@@ -1,0 +1,232 @@
+"""Indexing-scheme unit and property tests (paper Section II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.indexing import (
+    SCHEME_REGISTRY,
+    BitSelectIndexing,
+    GivargisIndexing,
+    GivargisXorIndexing,
+    ModuloIndexing,
+    OddMultiplierIndexing,
+    PrimeModuloIndexing,
+    XorIndexing,
+    available_schemes,
+    is_prime,
+    largest_prime_at_most,
+    make_scheme,
+    primes_up_to,
+)
+
+G = PAPER_L1_GEOMETRY
+
+addr_strategy = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def all_stateless_schemes(geometry):
+    return [
+        ModuloIndexing(geometry),
+        XorIndexing(geometry),
+        OddMultiplierIndexing(geometry, 9),
+        OddMultiplierIndexing(geometry, 61),
+        PrimeModuloIndexing(geometry),
+    ]
+
+
+class TestRegistry:
+    def test_expected_schemes_present(self):
+        assert {
+            "modulo",
+            "xor",
+            "odd_multiplier",
+            "prime_modulo",
+            "givargis",
+            "givargis_xor",
+            "patel",
+            "bit_select",
+        } <= set(available_schemes())
+
+    def test_make_scheme_passes_params(self):
+        s = make_scheme("odd_multiplier", G, multiplier=31)
+        assert s.multiplier == 31
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scheme("quantum", G)
+
+
+class TestRangeProperty:
+    @settings(max_examples=200)
+    @given(addr_strategy)
+    def test_all_schemes_in_range(self, addr):
+        for scheme in all_stateless_schemes(G):
+            idx = scheme.index_of(addr)
+            assert 0 <= idx < G.num_sets, scheme.name
+
+    @settings(max_examples=25)
+    @given(st.lists(addr_strategy, min_size=1, max_size=100))
+    def test_vectorised_matches_scalar(self, addrs):
+        arr = np.array(addrs, dtype=np.uint64)
+        for scheme in all_stateless_schemes(G):
+            np.testing.assert_array_equal(
+                scheme.indices_of(arr),
+                [scheme.index_of(a) for a in addrs],
+                err_msg=scheme.name,
+            )
+
+    @settings(max_examples=100)
+    @given(addr_strategy, st.integers(min_value=0, max_value=31))
+    def test_offset_invariance(self, addr, offset):
+        """Bytes within one line always map to one set (every scheme)."""
+        base = addr & ~31
+        for scheme in all_stateless_schemes(G):
+            assert scheme.index_of(base) == scheme.index_of(base | offset), scheme.name
+
+
+class TestModulo:
+    def test_matches_geometry(self):
+        s = ModuloIndexing(G)
+        for addr in (0, 0x1234, 0xFFFF_FFFF, 0xDEAD_BEEF):
+            assert s.index_of(addr) == G.index_of(addr)
+
+    def test_consecutive_lines_consecutive_sets(self):
+        s = ModuloIndexing(G)
+        assert s.index_of(32) == s.index_of(0) + 1
+
+
+class TestXor:
+    def test_zero_tag_is_identity(self):
+        s = XorIndexing(G)
+        # Address with all tag bits zero: XOR leaves the index unchanged.
+        addr = 0x7FFF  # fits in offset+index bits
+        assert s.index_of(addr) == G.index_of(addr)
+
+    def test_separates_same_index_different_tags(self):
+        s = XorIndexing(G)
+        a = G.rebuild_address(tag=1, index=5)
+        b = G.rebuild_address(tag=2, index=5)
+        assert G.index_of(a) == G.index_of(b)
+        assert s.index_of(a) != s.index_of(b)
+
+    def test_is_permutation_within_tag(self):
+        """For a fixed tag, the map index -> xor-index is a bijection."""
+        s = XorIndexing(G)
+        images = {s.index_of(G.rebuild_address(tag=7, index=i)) for i in range(1024)}
+        assert len(images) == 1024
+
+    def test_tag_bit_offset(self):
+        s0 = XorIndexing(G, tag_bit_offset=0)
+        s5 = XorIndexing(G, tag_bit_offset=5)
+        addr = G.rebuild_address(tag=0b11111_00000_00000_11, index=0)
+        assert s0.index_of(addr) != s5.index_of(addr)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            XorIndexing(G, tag_bit_offset=-1)
+
+
+class TestOddMultiplier:
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            OddMultiplierIndexing(G, 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OddMultiplierIndexing(G, -3)
+
+    def test_formula(self):
+        s = OddMultiplierIndexing(G, 9)
+        addr = G.rebuild_address(tag=3, index=17)
+        assert s.index_of(addr) == (9 * 3 + 17) % 1024
+
+    def test_zero_tag_is_identity(self):
+        s = OddMultiplierIndexing(G, 21)
+        assert s.index_of(G.rebuild_address(tag=0, index=100)) == 100
+
+    def test_is_permutation_within_tag(self):
+        s = OddMultiplierIndexing(G, 31)
+        images = {s.index_of(G.rebuild_address(tag=5, index=i)) for i in range(1024)}
+        assert len(images) == 1024
+
+    def test_different_multipliers_differ(self):
+        addr = G.rebuild_address(tag=99, index=1)
+        outs = {OddMultiplierIndexing(G, m).index_of(addr) for m in (9, 21, 31, 61)}
+        assert len(outs) > 1
+
+
+class TestPrimeUtilities:
+    def test_is_prime_small(self):
+        primes = {2, 3, 5, 7, 11, 13, 1021}
+        for p in primes:
+            assert is_prime(p)
+        for c in (0, 1, 4, 9, 1023, 1024):
+            assert not is_prime(c)
+
+    def test_largest_prime_at_most(self):
+        assert largest_prime_at_most(1024) == 1021
+        assert largest_prime_at_most(2) == 2
+        with pytest.raises(ValueError):
+            largest_prime_at_most(1)
+
+    def test_primes_up_to_matches_is_prime(self):
+        assert primes_up_to(100) == [n for n in range(101) if is_prime(n)]
+
+    def test_sieve_empty(self):
+        assert primes_up_to(1) == []
+
+
+class TestPrimeModulo:
+    def test_default_prime_is_1021(self):
+        s = PrimeModuloIndexing(G)
+        assert s.prime == 1021
+        assert s.usable_sets == 1021
+        assert s.fragmented_sets == 3
+
+    def test_fragmentation_property(self, rng):
+        """Sets >= p are never produced (paper Section II.B)."""
+        s = PrimeModuloIndexing(G)
+        addrs = rng.integers(0, 1 << 32, size=20_000, dtype=np.uint64)
+        assert int(s.indices_of(addrs).max()) < 1021
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeModuloIndexing(G, prime=1024)
+
+    def test_rejects_oversized_prime(self):
+        with pytest.raises(ValueError):
+            PrimeModuloIndexing(G, prime=2053)
+
+    def test_breaks_power_of_two_stride(self):
+        """A 32 KiB stride maps all accesses to one set conventionally but
+        spreads under prime modulo — the scheme's whole point."""
+        mod = ModuloIndexing(G)
+        prime = PrimeModuloIndexing(G)
+        addrs = np.arange(64, dtype=np.uint64) * np.uint64(32 * 1024)
+        assert len(set(mod.indices_of(addrs).tolist())) == 1
+        assert len(set(prime.indices_of(addrs).tolist())) == 64
+
+
+class TestBitSelect:
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            BitSelectIndexing(G, positions=(5, 6))
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            BitSelectIndexing(G, positions=(5,) * 10)
+
+    def test_out_of_range_position(self):
+        with pytest.raises(ValueError):
+            BitSelectIndexing(G, positions=(5, 6, 7, 8, 9, 10, 11, 12, 13, 40))
+
+    def test_conventional_selection_equals_modulo(self):
+        s = BitSelectIndexing(G, positions=tuple(range(5, 15)))
+        m = ModuloIndexing(G)
+        for addr in (0, 0xABCDEF, 0xFFFFFFFF):
+            assert s.index_of(addr) == m.index_of(addr)

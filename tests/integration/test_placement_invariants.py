@@ -1,0 +1,150 @@
+"""Placement invariants, property-tested over random access sequences.
+
+Each architecture promises *where* a resident block can live; these tests
+replay random traces and then audit the entire contents against that
+promise.  A violated invariant means a block became unreachable (a
+correctness bug no miss-rate test would catch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import CacheGeometry
+from repro.core.caches import (
+    BalancedCache,
+    ColumnAssociativeCache,
+    DirectMappedCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+    VictimCache,
+)
+from repro.core.caches.adaptive import AdaptiveGroupAssociativeCache
+from repro.core.caches.base import EMPTY
+
+G = CacheGeometry(capacity_bytes=2048, line_bytes=32, ways=1, address_bits=20)
+
+trace_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=400
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_direct_mapped_blocks_live_at_their_index(addrs):
+    c = DirectMappedCache(G)
+    for a in addrs:
+        c.access(a)
+    for slot in range(G.num_sets):
+        b = int(c._blocks[slot])
+        if b != EMPTY:
+            assert c.indexing.index_of(b << G.offset_bits) == slot
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_column_associative_blocks_reachable(addrs):
+    """A resident block sits at its primary index or its alternate —
+    anywhere else and lookups could never find it again."""
+    c = ColumnAssociativeCache(G)
+    for a in addrs:
+        c.access(a)
+    for slot in range(G.num_sets):
+        b = int(c._blocks[slot])
+        if b != EMPTY:
+            primary = c.indexing.index_of(b << G.offset_bits)
+            assert slot in (primary, c.alternate_of(primary))
+            # Out-of-place residency must be flagged by the rehash bit.
+            if slot != primary:
+                assert c._rehash[slot]
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_adaptive_blocks_reachable(addrs):
+    """A resident block is in its primary set, or covered by a live OUT
+    entry (else it is dead weight no lookup can reach)."""
+    c = AdaptiveGroupAssociativeCache(G)
+    for a in addrs:
+        c.access(a)
+    out = dict(c._out)
+    for slot in range(G.num_sets):
+        b = int(c._blocks[slot])
+        if b != EMPTY:
+            primary = c.indexing.index_of(b << G.offset_bits)
+            assert slot == primary or out.get(b) == slot, (
+                f"block {b} stranded at {slot} (primary {primary})"
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_bcache_blocks_live_in_their_cluster(addrs):
+    c = BalancedCache(G, mapping_factor=2, bas=2)
+    for a in addrs:
+        c.access(a)
+    c.check_invariants()  # cluster membership + PI uniqueness + PI registers
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_skewed_blocks_live_at_their_bank_index(addrs):
+    c = SkewedAssociativeCache(G, ways=2)
+    for a in addrs:
+        c.access(a)
+    for bank in range(c.ways):
+        scheme = c.schemes[bank]
+        for idx in range(c.bank_geometry.num_sets):
+            b = int(c._blocks[bank, idx])
+            if b != EMPTY:
+                assert scheme.index_of(b << G.offset_bits) == idx
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace_strategy)
+def test_victim_cache_partition(addrs):
+    """Main-array blocks sit at their index; buffer blocks are disjoint."""
+    c = VictimCache(G, victim_lines=4)
+    for a in addrs:
+        c.access(a)
+    c.check_invariants()
+    for slot in range(G.num_sets):
+        b = int(c._blocks[slot])
+        if b != EMPTY:
+            assert c.indexing.index_of(b << G.offset_bits) == slot
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace_strategy, st.sampled_from([2, 4]))
+def test_set_associative_blocks_in_their_set(addrs, ways):
+    g = CacheGeometry(G.capacity_bytes, G.line_bytes, ways, G.address_bits)
+    c = SetAssociativeCache(g)
+    for a in addrs:
+        c.access(a)
+    for s in range(g.num_sets):
+        for w in range(ways):
+            b = int(c._blocks[s, w])
+            if b != EMPTY:
+                assert c.indexing.index_of(b << g.offset_bits) == s
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace_strategy)
+def test_most_recent_block_always_resident(addrs):
+    """Whatever the architecture, the block just accessed must be resident
+    (write-allocate): a second immediate access is a guaranteed hit."""
+    for factory in (
+        lambda: DirectMappedCache(G),
+        lambda: ColumnAssociativeCache(G),
+        lambda: AdaptiveGroupAssociativeCache(G),
+        lambda: BalancedCache(G),
+        lambda: SkewedAssociativeCache(G),
+        lambda: VictimCache(G, victim_lines=2),
+    ):
+        c = factory()
+        for a in addrs:
+            c.access(a)
+            assert c.access(a).hit, type(c).__name__

@@ -1,0 +1,150 @@
+"""SMT shared-cache and partitioned-cache tests (paper Section IV.E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.amat import TimingModel
+from repro.core.indexing import ModuloIndexing, OddMultiplierIndexing
+from repro.core.selector import ThreadSchemeTable
+from repro.multithread import (
+    PartitionedAdaptiveCache,
+    SMTSharedCache,
+    StaticPartitionedCache,
+    simulate_partitioned,
+    simulate_smt,
+)
+from repro.trace import Trace, round_robin
+
+G = PAPER_L1_GEOMETRY
+
+
+def conflicting_pair_trace(n=4000):
+    """Two threads whose hot blocks alias in the same conventional sets."""
+    t0 = Trace(np.tile(np.arange(16, dtype=np.uint64) * 32, n // 16), name="a")
+    base = np.uint64(32 * 1024)  # same sets, different tag
+    t1 = Trace(base + np.tile(np.arange(16, dtype=np.uint64) * 32, n // 16), name="b")
+    return round_robin([t0, t1])
+
+
+class TestThreadSchemeTable:
+    def test_lookup(self):
+        table = ThreadSchemeTable([ModuloIndexing(G), OddMultiplierIndexing(G, 9)])
+        assert table.scheme_for(1).name == "odd_multiplier"
+        with pytest.raises(IndexError):
+            table.scheme_for(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ThreadSchemeTable([])
+
+    def test_rejects_mixed_geometry(self):
+        g2 = CacheGeometry(16 * 1024, 32, 1)
+        with pytest.raises(ValueError):
+            ThreadSchemeTable([ModuloIndexing(G), ModuloIndexing(g2)])
+
+
+class TestSMTSharedCache:
+    def test_same_scheme_threads_thrash(self):
+        mix = conflicting_pair_trace()
+        cache = SMTSharedCache(G, ThreadSchemeTable([ModuloIndexing(G)] * 2))
+        res = simulate_smt(cache, mix)
+        assert res.miss_rate > 0.9  # ping-pong on every shared set
+
+    def test_per_thread_multipliers_fix_thrash(self):
+        """The paper's Figure-13 effect in its purest form."""
+        mix = conflicting_pair_trace()
+        base = simulate_smt(SMTSharedCache(G, ThreadSchemeTable([ModuloIndexing(G)] * 2)), mix)
+        multi = simulate_smt(
+            SMTSharedCache(
+                G,
+                ThreadSchemeTable([OddMultiplierIndexing(G, 9), OddMultiplierIndexing(G, 31)]),
+            ),
+            mix,
+        )
+        assert multi.misses < base.misses * 0.2
+
+    def test_cross_evictions_tracked(self):
+        mix = conflicting_pair_trace()
+        cache = SMTSharedCache(G, ThreadSchemeTable([ModuloIndexing(G)] * 2))
+        res = simulate_smt(cache, mix)
+        assert res.cross_evictions > 0
+
+    def test_per_thread_stats_sum(self):
+        mix = conflicting_pair_trace()
+        cache = SMTSharedCache(G, ThreadSchemeTable([ModuloIndexing(G)] * 2))
+        res = simulate_smt(cache, mix)
+        assert res.thread_hits.sum() + res.thread_misses.sum() == res.accesses
+        assert 0.0 <= res.thread_miss_rate(0) <= 1.0
+
+    def test_unknown_thread_rejected(self):
+        t = Trace(np.array([0], dtype=np.uint64), thread=np.array([2], dtype=np.int16))
+        cache = SMTSharedCache(G, ThreadSchemeTable([ModuloIndexing(G)] * 2))
+        with pytest.raises(ValueError):
+            simulate_smt(cache, t)
+
+    def test_rejects_multiway(self):
+        with pytest.raises(ValueError):
+            SMTSharedCache(CacheGeometry(32 * 1024, 32, 2), ThreadSchemeTable([ModuloIndexing(G)]))
+
+
+class TestStaticPartitioned:
+    def test_partition_isolation(self):
+        """Threads may not evict each other's lines."""
+        cache = StaticPartitionedCache(G, 2)
+        cache.access(0, thread=0)
+        cache.access(0, thread=1)  # same address, other partition
+        assert cache.access(0, thread=0) == 1  # still a hit for thread 0
+        assert cache.stats.hits == 1
+
+    def test_slots_disjoint(self):
+        cache = StaticPartitionedCache(G, 2)
+        assert cache.primary_slot(0, 0) == 0
+        assert cache.primary_slot(0, 1) == 512
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            StaticPartitionedCache(G, 3)
+
+    def test_partition_shrinks_effective_cache(self):
+        """A working set that fits the whole cache but not a half-partition
+        thrashes when partitioned."""
+        blocks = np.arange(768, dtype=np.uint64) * 32  # 24 KiB working set
+        t = Trace(np.tile(blocks, 8), name="ws")
+        whole = StaticPartitionedCache(G, 1)
+        half = StaticPartitionedCache(G, 2)
+        r_whole = simulate_partitioned(whole, t)
+        r_half = simulate_partitioned(half, t)
+        assert r_whole.miss_rate < 0.2
+        assert r_half.miss_rate > 0.5
+
+
+class TestPartitionedAdaptive:
+    def test_spill_uses_other_partition(self):
+        """One heavy thread + one idle thread: the adaptive tables let the
+        heavy thread overflow into the idle partition."""
+        heavy = Trace(np.tile(np.arange(640, dtype=np.uint64) * 32, 12), name="heavy")
+        idle = Trace(np.zeros(len(heavy), dtype=np.uint64), name="idle")
+        mix = round_robin([heavy, idle])
+        static = simulate_partitioned(StaticPartitionedCache(G, 2), mix)
+        adaptive = simulate_partitioned(PartitionedAdaptiveCache(G, 2), mix)
+        assert adaptive.misses < static.misses
+
+    def test_amat_formulas(self):
+        heavy = Trace(np.tile(np.arange(640, dtype=np.uint64) * 32, 12), name="heavy")
+        idle = Trace(np.zeros(len(heavy), dtype=np.uint64), name="idle")
+        mix = round_robin([heavy, idle])
+        static = simulate_partitioned(StaticPartitionedCache(G, 2), mix)
+        adaptive = simulate_partitioned(PartitionedAdaptiveCache(G, 2), mix)
+        tm = TimingModel()
+        assert static.amat(tm) == pytest.approx(1 + static.miss_rate * tm.miss_penalty)
+        assert adaptive.amat(tm, adaptive=True) < static.amat(tm)
+
+    def test_flush(self):
+        c = PartitionedAdaptiveCache(G, 2)
+        c.access(0, 0)
+        c.flush()
+        assert c.stats.accesses == 1  # stats survive, contents cleared
+        assert len(c._out) == 0

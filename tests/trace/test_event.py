@@ -1,0 +1,114 @@
+"""Trace container and builder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import MemoryAccess, Trace, TraceBuilder
+
+
+class TestTrace:
+    def test_basic_construction(self):
+        t = Trace(np.array([1, 2, 3], dtype=np.uint64), name="t")
+        assert len(t) == 3
+        assert t.num_threads == 1
+        assert not t.is_write.any()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([1, 2], dtype=np.uint64), is_write=np.array([True]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_immutable(self):
+        t = Trace(np.array([1], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            t.addresses[0] = 5
+
+    def test_iteration_yields_accesses(self):
+        t = Trace(
+            np.array([10, 20], dtype=np.uint64),
+            is_write=np.array([False, True]),
+            thread=np.array([0, 1], dtype=np.int16),
+        )
+        events = list(t)
+        assert events[0] == MemoryAccess(10, False, 0)
+        assert events[1] == MemoryAccess(20, True, 1)
+
+    def test_slicing(self):
+        t = Trace(np.arange(10, dtype=np.uint64))
+        assert len(t[2:5]) == 3
+        with pytest.raises(TypeError):
+            t[3]  # integer indexing unsupported
+
+    def test_blocks(self):
+        t = Trace(np.array([0, 31, 32, 64], dtype=np.uint64))
+        assert t.blocks(5).tolist() == [0, 0, 1, 2]
+        assert t.unique_blocks(5).tolist() == [0, 1, 2]
+        assert t.footprint_bytes(5) == 3 * 32
+
+    def test_write_fraction(self):
+        t = Trace(np.arange(4, dtype=np.uint64), is_write=np.array([1, 0, 0, 1], dtype=bool))
+        assert t.write_fraction() == 0.5
+
+    def test_for_thread(self):
+        t = Trace(
+            np.array([1, 2, 3, 4], dtype=np.uint64),
+            thread=np.array([0, 1, 0, 1], dtype=np.int16),
+        )
+        t0 = t.for_thread(0)
+        assert t0.addresses.tolist() == [1, 3]
+        assert t0.num_threads == 1
+
+    def test_concat(self):
+        a = Trace(np.array([1], dtype=np.uint64), name="a")
+        b = Trace(np.array([2], dtype=np.uint64), name="b")
+        c = a.concat(b)
+        assert c.addresses.tolist() == [1, 2]
+
+    def test_with_name(self):
+        t = Trace(np.array([1], dtype=np.uint64), name="old")
+        assert t.with_name("new").name == "new"
+
+
+class TestTraceBuilder:
+    def test_append_and_build(self):
+        b = TraceBuilder("x")
+        b.append(0x10)
+        b.append(0x20, is_write=True)
+        t = b.build()
+        assert t.addresses.tolist() == [0x10, 0x20]
+        assert t.is_write.tolist() == [False, True]
+        assert t.name == "x"
+
+    def test_chunk_boundary(self):
+        n = TraceBuilder.CHUNK + 7
+        b = TraceBuilder()
+        for i in range(n):
+            b.append(i)
+        t = b.build()
+        assert len(t) == n
+        assert t.addresses[-1] == n - 1
+
+    def test_extend_bulk(self):
+        b = TraceBuilder()
+        b.append(1)
+        b.extend(np.array([2, 3], dtype=np.uint64), is_write=True)
+        b.append(4)
+        t = b.build()
+        assert t.addresses.tolist() == [1, 2, 3, 4]
+        assert t.is_write.tolist() == [False, True, True, False]
+
+    def test_empty_build(self):
+        t = TraceBuilder().build()
+        assert len(t) == 0
+        assert t.num_threads == 0
+
+    def test_len_tracks_total(self):
+        b = TraceBuilder()
+        for i in range(100):
+            b.append(i)
+        assert len(b) == 100

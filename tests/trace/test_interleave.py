@@ -1,0 +1,101 @@
+"""Interleaving tests: program order per thread is sacred."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Trace, block_interleave, random_interleave, round_robin
+
+
+def make_trace(values, name="t"):
+    return Trace(np.array(values, dtype=np.uint64), name=name)
+
+
+def assert_program_order_preserved(mixed: Trace, originals: list[Trace]):
+    for i, orig in enumerate(originals):
+        sub = mixed.addresses[mixed.thread == i]
+        np.testing.assert_array_equal(sub, orig.addresses)
+
+
+lengths = st.lists(st.integers(min_value=0, max_value=40), min_size=2, max_size=4)
+
+
+class TestRoundRobin:
+    def test_alternation(self):
+        a = make_trace([1, 2, 3])
+        b = make_trace([10, 20, 30])
+        mix = round_robin([a, b])
+        assert mix.addresses.tolist() == [1, 10, 2, 20, 3, 30]
+        assert mix.thread.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_unequal_lengths_drain(self):
+        a = make_trace([1])
+        b = make_trace([10, 20, 30])
+        mix = round_robin([a, b])
+        assert len(mix) == 4
+        assert_program_order_preserved(mix, [a, b])
+
+    @settings(max_examples=30)
+    @given(lengths)
+    def test_property_full_consumption(self, lens):
+        traces = [make_trace(list(range(i * 100, i * 100 + n))) for i, n in enumerate(lens)]
+        mix = round_robin(traces)
+        assert len(mix) == sum(lens)
+        assert_program_order_preserved(mix, traces)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            round_robin([])
+
+
+class TestRandomInterleave:
+    def test_order_preserved(self):
+        a = make_trace(list(range(50)))
+        b = make_trace(list(range(100, 160)))
+        mix = random_interleave([a, b], seed=3)
+        assert_program_order_preserved(mix, [a, b])
+        assert len(mix) == 110
+
+    def test_seed_determinism(self):
+        a = make_trace(list(range(30)))
+        b = make_trace(list(range(100, 130)))
+        m1 = random_interleave([a, b], seed=9)
+        m2 = random_interleave([a, b], seed=9)
+        np.testing.assert_array_equal(m1.addresses, m2.addresses)
+
+    def test_different_seeds_differ(self):
+        a = make_trace(list(range(30)))
+        b = make_trace(list(range(100, 130)))
+        m1 = random_interleave([a, b], seed=1)
+        m2 = random_interleave([a, b], seed=2)
+        assert not np.array_equal(m1.thread, m2.thread)
+
+
+class TestBlockInterleave:
+    def test_quantum_bursts(self):
+        a = make_trace(list(range(8)))
+        b = make_trace(list(range(100, 108)))
+        mix = block_interleave([a, b], quantum=4)
+        assert mix.thread[:4].tolist() == [0] * 4
+        assert mix.thread[4:8].tolist() == [1] * 4
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            block_interleave([make_trace([1])], quantum=0)
+
+    @settings(max_examples=20)
+    @given(lengths, st.integers(min_value=1, max_value=7))
+    def test_property_full_consumption(self, lens, quantum):
+        traces = [make_trace(list(range(i * 100, i * 100 + n))) for i, n in enumerate(lens)]
+        mix = block_interleave(traces, quantum=quantum)
+        assert len(mix) == sum(lens)
+        assert_program_order_preserved(mix, traces)
+
+    def test_retags_by_position(self):
+        # Input thread ids are ignored; position in the list decides.
+        a = Trace(np.array([1], dtype=np.uint64), thread=np.array([5], dtype=np.int16))
+        mix = block_interleave([a], quantum=2)
+        assert mix.thread.tolist() == [0]

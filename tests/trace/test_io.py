@@ -1,0 +1,85 @@
+"""Trace persistence tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import Trace, TraceCache, load_din, load_npz, save_din, save_npz, zipf_trace
+
+
+@pytest.fixture
+def sample() -> Trace:
+    return Trace(
+        np.array([0x10, 0x20, 0x30], dtype=np.uint64),
+        is_write=np.array([False, True, False]),
+        thread=np.array([0, 1, 0], dtype=np.int16),
+        name="sample",
+        meta={"seed": 7, "note": "hello"},
+    )
+
+
+class TestNpz:
+    def test_round_trip(self, sample, tmp_path):
+        path = save_npz(sample, tmp_path / "t.npz")
+        back = load_npz(path)
+        np.testing.assert_array_equal(back.addresses, sample.addresses)
+        np.testing.assert_array_equal(back.is_write, sample.is_write)
+        np.testing.assert_array_equal(back.thread, sample.thread)
+        assert back.name == "sample"
+        assert back.meta == {"seed": 7, "note": "hello"}
+
+    def test_suffix_added(self, sample, tmp_path):
+        path = save_npz(sample, tmp_path / "t")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_large_trace(self, tmp_path):
+        t = zipf_trace(30_000, seed=1)
+        back = load_npz(save_npz(t, tmp_path / "big.npz"))
+        np.testing.assert_array_equal(back.addresses, t.addresses)
+
+
+class TestDin:
+    def test_round_trip(self, sample, tmp_path):
+        path = save_din(sample, tmp_path / "t.din")
+        back = load_din(path)
+        np.testing.assert_array_equal(back.addresses, sample.addresses)
+        np.testing.assert_array_equal(back.is_write, sample.is_write)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "x.din"
+        p.write_text("# header\n\n0 10\n1 ff\n")
+        t = load_din(p)
+        assert t.addresses.tolist() == [0x10, 0xFF]
+        assert t.is_write.tolist() == [False, True]
+
+    def test_name_defaults_to_stem(self, sample, tmp_path):
+        path = save_din(sample, tmp_path / "mytrace.din")
+        assert load_din(path).name == "mytrace"
+
+
+class TestTraceCache:
+    def test_miss_generates_then_hits(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def gen():
+            calls.append(1)
+            return zipf_trace(100, seed=2)
+
+        a = cache.get_or_create("k1", gen)
+        b = cache.get_or_create("k1", gen)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(a.addresses, b.addresses)
+
+    def test_key_for_stable(self):
+        k1 = TraceCache.key_for("fft", seed=1, limit=100)
+        k2 = TraceCache.key_for("fft", limit=100, seed=1)
+        assert k1 == k2
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.get_or_create("k", lambda: zipf_trace(10))
+        cache.clear()
+        assert list(tmp_path.glob("*.npz")) == []

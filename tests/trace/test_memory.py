@@ -1,0 +1,135 @@
+"""Address-space model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.memory import AddressSpace, Array, SegmentLayout, StackFrame
+
+
+class TestArray:
+    def test_addressing(self):
+        a = Array(base=1000, elem_size=8, length=10, name="a")
+        assert a.addr(0) == 1000
+        assert a.addr(3) == 1024
+        assert a.size_bytes == 80
+        assert a.end == 1080
+
+    def test_bounds(self):
+        a = Array(0, 4, 5)
+        with pytest.raises(IndexError):
+            a.addr(5)
+        with pytest.raises(IndexError):
+            a.addr(-1)
+
+    def test_vectorised(self):
+        a = Array(64, 4, 100)
+        idx = np.array([0, 2, 99])
+        assert a.addrs(idx).tolist() == [64, 72, 460]
+        with pytest.raises(IndexError):
+            a.addrs(np.array([100]))
+
+    def test_field_addr(self):
+        a = Array(0, 32, 4)
+        assert a.field_addr(1, 8) == 40
+        with pytest.raises(IndexError):
+            a.field_addr(0, 32)
+
+
+class TestAddressSpace:
+    def test_segments_disjoint(self):
+        sp = AddressSpace()
+        s = sp.static_array(4, 100)
+        h = sp.heap_array(4, 100)
+        m = sp.mmap_array(4, 100)
+        frame = sp.push_frame(128)
+        ranges = [
+            (s.base, s.end),
+            (h.base, h.end),
+            (m.base, m.end),
+            (frame.base, frame.base + frame.size),
+        ]
+        ranges.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2
+
+    def test_heap_allocations_do_not_overlap(self):
+        sp = AddressSpace()
+        arrays = [sp.heap_array(8, 50) for _ in range(20)]
+        for a, b in zip(arrays, arrays[1:]):
+            assert a.end <= b.base
+
+    def test_heap_padding_separates(self):
+        sp = AddressSpace(heap_padding=16)
+        a = sp.heap_array(1, 10)
+        b = sp.heap_array(1, 10)
+        assert b.base - a.end >= 6  # padding minus alignment slack
+
+    def test_alignment(self):
+        sp = AddressSpace()
+        a = sp.heap_array(4, 3, align=4096)
+        assert a.base % 4096 == 0
+        with pytest.raises(ValueError):
+            sp.malloc(8, align=3)
+
+    def test_mmap_page_aligned(self):
+        sp = AddressSpace()
+        assert sp.mmap_array(8, 10).base % 4096 == 0
+
+    def test_stack_grows_down(self):
+        sp = AddressSpace()
+        f1 = sp.push_frame(64)
+        f2 = sp.push_frame(64)
+        assert f2.base < f1.base
+        sp.pop_frame()
+        sp.pop_frame()
+        with pytest.raises(RuntimeError):
+            sp.pop_frame()
+
+    def test_stack_depth(self):
+        sp = AddressSpace()
+        sp.push_frame()
+        sp.push_frame()
+        assert sp.stack_depth == 2
+
+    def test_thread_spaces_disjoint(self):
+        sp0 = AddressSpace(thread=0)
+        sp1 = AddressSpace(thread=1)
+        a0 = sp0.heap_array(8, 1000)
+        a1 = sp1.heap_array(8, 1000)
+        assert a0.end <= a1.base or a1.end <= a0.base
+
+    def test_heap_used(self):
+        sp = AddressSpace(thread=2)
+        sp.heap_array(8, 100)
+        assert sp.heap_used >= 800
+
+    def test_bases_not_capacity_aligned(self):
+        """Regression: capacity-aligned segment bases made unrelated hot
+        objects alias to set 0 and corrupted the crc baseline."""
+        layout = SegmentLayout()
+        for base in (layout.static_base, layout.heap_base, layout.stack_top, layout.mmap_base):
+            assert base % (32 * 1024) != 0
+
+
+class TestStackFrame:
+    def test_locals_distinct(self):
+        f = StackFrame(base=1000, size=64)
+        a = f.local("a", 8)
+        b = f.local("b", 8)
+        assert a != b
+        assert f.local("a", 8) == a  # idempotent
+
+    def test_overflow(self):
+        f = StackFrame(base=0, size=16)
+        f.local("x", 8)
+        with pytest.raises(MemoryError):
+            f.local("y", 16)
+
+    def test_local_array(self):
+        f = StackFrame(base=100, size=256)
+        arr = f.local_array("buf", 4, 10)
+        assert arr.length == 10
+        assert 100 <= arr.base < 356
+        assert f.local_array("buf", 4, 10).base == arr.base

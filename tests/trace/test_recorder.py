@@ -1,0 +1,99 @@
+"""Recorder and stdio-model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import Recorder, TraceComplete, record
+
+
+class TestRecorder:
+    def test_load_store_recorded(self):
+        m = Recorder("t")
+        m.load(0x100)
+        m.store(0x200)
+        t = m.build()
+        assert t.addresses.tolist() == [0x100, 0x200]
+        assert t.is_write.tolist() == [False, True]
+
+    def test_array_helpers(self):
+        m = Recorder("t")
+        arr = m.space.heap_array(8, 4, "a")
+        m.load_elem(arr, 2)
+        m.store_field(arr, 1, 4)
+        t = m.build()
+        assert t.addresses.tolist() == [arr.addr(2), arr.addr(1) + 4]
+
+    def test_ref_limit_raises(self):
+        m = Recorder("t", ref_limit=3)
+        m.load(1)
+        m.load(2)
+        with pytest.raises(TraceComplete):
+            m.load(3)
+
+    def test_stream_respects_limit(self):
+        m = Recorder("t", ref_limit=5)
+        with pytest.raises(TraceComplete):
+            m.load_stream(np.arange(10, dtype=np.uint64))
+        assert len(m.build()) == 5
+
+    def test_rng_seeded(self):
+        a = Recorder("t", seed=5).rng.integers(0, 1 << 30)
+        b = Recorder("t", seed=5).rng.integers(0, 1 << 30)
+        assert a == b
+
+
+class TestRecordFunction:
+    def test_kernel_truncated_at_limit(self):
+        def kernel(m):
+            for i in range(1000):
+                m.load(i * 8)
+
+        t = record(kernel, "k", ref_limit=100)
+        assert len(t) == 100
+
+    def test_kernel_completes_under_limit(self):
+        def kernel(m):
+            m.load(1)
+            m.builder.meta["done"] = True
+
+        t = record(kernel, "k", ref_limit=100)
+        assert len(t) == 1
+        assert t.meta["done"]
+
+    def test_thread_tagging(self):
+        t = record(lambda m: m.load(1), "k", thread=3)
+        assert t.thread.tolist() == [3]
+
+    def test_determinism(self):
+        def kernel(m):
+            for _ in range(50):
+                m.load(int(m.rng.integers(0, 1 << 20)))
+
+        a = record(kernel, "k", seed=9)
+        b = record(kernel, "k", seed=9)
+        np.testing.assert_array_equal(a.addresses, b.addresses)
+
+
+class TestStdio:
+    def test_printf_emits_references(self):
+        m = Recorder("t")
+        before = len(m.builder)
+        m.printf(32)
+        assert len(m.builder) > before
+
+    def test_buffer_flush_on_wrap(self):
+        m = Recorder("t")
+        # Fill the 4 KiB buffer: the flush re-reads it (loads appear).
+        for _ in range(200):
+            m.printf(32)
+        t = m.build()
+        assert t.is_write.sum() < len(t)  # flush loads present
+        assert (~t.is_write).sum() > 200
+
+    def test_printf_balances_stack(self):
+        m = Recorder("t")
+        depth = m.space.stack_depth
+        m.printf()
+        assert m.space.stack_depth == depth

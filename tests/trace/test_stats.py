@@ -1,0 +1,68 @@
+"""Trace statistics tests (stride histogram, reuse distance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace import Trace, reuse_distances, sequential_sweep, stride_histogram, summarize
+
+
+class TestStrideHistogram:
+    def test_pure_stride(self):
+        t = sequential_sweep(100, stride=16)
+        hist = stride_histogram(t, top_k=1)
+        assert hist[0] == (16, 1.0)
+
+    def test_short_trace(self):
+        assert stride_histogram(Trace(np.array([1], dtype=np.uint64))) == ()
+
+    def test_mixed_strides(self):
+        addrs = [0, 8, 16, 24, 1000, 1008]
+        hist = dict(stride_histogram(Trace(np.array(addrs, dtype=np.uint64)), top_k=2))
+        assert hist[8] == 0.8
+
+
+class TestSummarize:
+    def test_fields(self):
+        t = sequential_sweep(320, stride=32)
+        s = summarize(t, offset_bits=5)
+        assert s.length == 320
+        assert s.unique_blocks == 320
+        assert s.footprint_bytes == 320 * 32
+        assert s.num_threads == 1
+        assert "strides" in str(s)
+
+
+class TestReuseDistance:
+    def test_cold_is_minus_one(self):
+        t = sequential_sweep(10, stride=32)
+        assert (reuse_distances(t, 5) == -1).all()
+
+    def test_immediate_reuse_zero(self):
+        addrs = np.array([0, 0], dtype=np.uint64)
+        d = reuse_distances(Trace(addrs), 5)
+        assert d.tolist() == [-1, 0]
+
+    def test_classic_stack_distances(self):
+        # blocks: A B C B A -> distances: -1 -1 -1 1 2
+        addrs = np.array([0, 32, 64, 32, 0], dtype=np.uint64)
+        d = reuse_distances(Trace(addrs), 5)
+        assert d.tolist() == [-1, -1, -1, 1, 2]
+
+    def test_limit(self):
+        t = sequential_sweep(100, stride=32)
+        assert reuse_distances(t, 5, limit=10).size == 10
+
+    def test_matches_naive_oracle(self, rng):
+        blocks = rng.integers(0, 12, size=150)
+        addrs = (blocks.astype(np.uint64)) << np.uint64(5)
+        d = reuse_distances(Trace(addrs), 5)
+        last_seen: dict[int, int] = {}
+        for i, b in enumerate(blocks):
+            b = int(b)
+            if b in last_seen:
+                expected = len(set(blocks[last_seen[b] + 1 : i].tolist()))
+                assert d[i] == expected
+            else:
+                assert d[i] == -1
+            last_seen[b] = i

@@ -1,0 +1,99 @@
+"""Synthetic stressor tests: each generator's ground truth must hold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY
+from repro.core.indexing import ModuloIndexing, PrimeModuloIndexing
+from repro.core.simulator import simulate_indexing
+from repro.core.uniformity import kurtosis, normalized_entropy
+from repro.trace import (
+    hot_set_trace,
+    ping_pong_trace,
+    pointer_chase_trace,
+    sequential_sweep,
+    strided_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+G = PAPER_L1_GEOMETRY
+
+
+class TestUniform:
+    def test_near_uniform_sets(self):
+        t = uniform_trace(50_000, seed=1)
+        res = simulate_indexing(ModuloIndexing(G), t)
+        assert normalized_entropy(res.slot_accesses) > 0.98
+
+    def test_deterministic(self):
+        a = uniform_trace(100, seed=3)
+        b = uniform_trace(100, seed=3)
+        np.testing.assert_array_equal(a.addresses, b.addresses)
+
+
+class TestSweep:
+    def test_monotone(self):
+        t = sequential_sweep(100, stride=8)
+        assert (np.diff(t.addresses.astype(np.int64)) == 8).all()
+
+
+class TestStrided:
+    def test_capacity_stride_hits_one_set(self):
+        t = strided_trace(1000, stride=32 * 1024, working_set=8 * 32 * 1024)
+        res = simulate_indexing(ModuloIndexing(G), t)
+        assert (res.slot_accesses > 0).sum() == 1
+
+    def test_prime_modulo_spreads_it(self):
+        t = strided_trace(1000, stride=32 * 1024, working_set=8 * 32 * 1024)
+        res = simulate_indexing(PrimeModuloIndexing(G), t)
+        assert (res.slot_accesses > 0).sum() > 1
+
+
+class TestZipf:
+    def test_high_kurtosis(self):
+        t = zipf_trace(50_000, seed=2)
+        res = simulate_indexing(ModuloIndexing(G), t)
+        assert kurtosis(res.slot_accesses) > 3.0
+
+    def test_exponent_controls_concentration(self):
+        mild = zipf_trace(30_000, exponent=0.8, seed=1)
+        harsh = zipf_trace(30_000, exponent=2.0, seed=1)
+        mild_k = kurtosis(simulate_indexing(ModuloIndexing(G), mild).slot_accesses)
+        harsh_k = kurtosis(simulate_indexing(ModuloIndexing(G), harsh).slot_accesses)
+        assert harsh_k > mild_k
+
+
+class TestHotSet:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            hot_set_trace(10, hot_fraction=0.0)
+
+    def test_hot_region_dominates(self):
+        t = hot_set_trace(50_000, hot_fraction=0.1, hot_weight=0.9, seed=1)
+        hot_span = int((1 << 20) * 0.1)
+        in_hot = ((t.addresses - 0x1000_0000) < hot_span).mean()
+        assert 0.85 < in_hot < 0.95
+
+
+class TestPointerChase:
+    def test_visits_all_nodes(self):
+        t = pointer_chase_trace(4096, num_nodes=64, seed=5)
+        assert np.unique(t.addresses).size == 64
+
+    def test_is_a_cycle(self):
+        t = pointer_chase_trace(128, num_nodes=64, seed=5)
+        # After num_nodes steps the walk repeats exactly.
+        np.testing.assert_array_equal(t.addresses[:64], t.addresses[64:128])
+
+
+class TestPingPong:
+    def test_exactly_two_addresses(self):
+        t = ping_pong_trace(100)
+        assert np.unique(t.addresses).size == 2
+
+    def test_thrashes_direct_mapped(self):
+        res = simulate_indexing(ModuloIndexing(G), ping_pong_trace(1000))
+        assert res.miss_rate == 1.0

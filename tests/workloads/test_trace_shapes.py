@@ -1,0 +1,123 @@
+"""Trace-shape characterisation: each workload's documented access pattern
+must actually be present in its trace.
+
+These lock the properties the paper's figures depend on — e.g. fft's
+aliasing arrays, crc's tiny hot working set, mcf's scattered node
+dereferences — so a workload refactor cannot silently change the
+experiments' inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY
+from repro.core.indexing import ModuloIndexing
+from repro.core.simulator import simulate_indexing
+from repro.core.three_c import classify
+from repro.core.caches import DirectMappedCache
+from repro.core.uniformity import normalized_entropy
+from repro.trace.stats import stride_histogram
+from repro.workloads import get_workload
+
+G = PAPER_L1_GEOMETRY
+REFS = 60_000
+
+
+def trace_of(name: str):
+    return get_workload(name).generate(seed=2011, ref_limit=REFS)
+
+
+class TestFootprints:
+    def test_crc_hot_working_set_is_tiny(self):
+        """crc = chunk buffer + table + stack: a few KiB touched repeatedly."""
+        t = trace_of("crc")
+        assert t.footprint_bytes(G.offset_bits) < 8 * 1024
+
+    def test_libquantum_footprint_exceeds_cache(self):
+        t = trace_of("libquantum")
+        assert t.footprint_bytes(G.offset_bits) > G.capacity_bytes
+
+    def test_mcf_arena_large(self):
+        t = trace_of("mcf")
+        assert t.footprint_bytes(G.offset_bits) > 4 * G.capacity_bytes
+
+
+class TestConflictStructure:
+    def test_fft_conflict_dominated(self):
+        """The aliasing real/imag arrays make fft's DM misses conflicts."""
+        b = classify(DirectMappedCache(G), trace_of("fft"), G)
+        assert b.share("conflict") > 0.6
+
+    def test_streaming_benchmarks_not_conflict_dominated(self):
+        for name in ("libquantum", "hmmer"):
+            b = classify(DirectMappedCache(G), trace_of(name), G)
+            assert b.share("conflict") < 0.3, name
+
+    def test_fft_real_imag_alias(self):
+        """fft's two float arrays land on the same conventional sets."""
+        t = trace_of("fft")
+        res = simulate_indexing(ModuloIndexing(G), t, G)
+        # The populated sets are a strict minority (the arrays overlap).
+        populated = (res.slot_accesses > 0).sum()
+        assert populated < 0.7 * G.num_sets
+
+
+class TestStrideSpectra:
+    def test_libquantum_streams_its_records(self):
+        """The register sweep's 16-byte record stride dominates."""
+        hist = stride_histogram(trace_of("libquantum"), top_k=1)
+        assert hist[0] == (16, pytest.approx(hist[0][1]))
+        assert hist[0][1] > 0.3
+
+    def test_crc_alternates_buffer_and_table(self):
+        """crc's per-byte buf/table alternation means no single stride
+        dominates, but the 8-byte refill stride is the most common one."""
+        hist = stride_histogram(trace_of("crc"), top_k=1)
+        assert hist[0][0] == 8
+        assert hist[0][1] < 0.15
+
+    def test_dijkstra_has_row_stride(self):
+        """Adjacency-matrix row scans produce a dominant 4-byte stride."""
+        t = trace_of("dijkstra")
+        hist = dict(stride_histogram(t, top_k=4))
+        assert 4 in hist
+
+    def test_pointer_chasers_have_no_dominant_stride(self):
+        """patricia/mcf addresses scatter: no single stride covers most refs."""
+        for name in ("patricia", "mcf"):
+            t = trace_of(name)
+            hist = stride_histogram(t, top_k=1)
+            assert hist[0][1] < 0.5, name
+
+
+class TestSetUtilisation:
+    def test_uniform_benchmarks_cover_most_sets(self):
+        """bitcount/qsort sweep their data across (nearly) all sets — the
+        paper's explanation for their ~zero technique gains.  (Entropy is
+        still dragged down by their hot lookup tables, so coverage is the
+        right metric.)"""
+        for name in ("bitcount", "qsort"):
+            res = simulate_indexing(ModuloIndexing(G), trace_of(name), G)
+            coverage = (res.slot_accesses > 0).mean()
+            assert coverage > 0.9, name
+
+    def test_fft_has_low_entropy(self):
+        res = simulate_indexing(ModuloIndexing(G), trace_of("fft"), G)
+        assert normalized_entropy(res.slot_accesses) < 0.8
+
+    def test_write_fractions_sane(self):
+        """Every workload reads more than it writes (real program property),
+        but none is read-only."""
+        for name in ("fft", "qsort", "sha", "susan", "gromacs"):
+            t = trace_of(name)
+            assert 0.0 < t.write_fraction() < 0.6, name
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["fft", "dijkstra", "astar"])
+    def test_scale_changes_problem_size(self, name):
+        small = get_workload(name).generate(seed=1, ref_limit=None, scale=0.05)
+        big = get_workload(name).generate(seed=1, ref_limit=30_000, scale=0.5)
+        assert small.footprint_bytes(5) < big.footprint_bytes(5)
