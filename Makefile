@@ -2,8 +2,11 @@
 
 PY ?= python
 REFS ?= 120000
+# Worker processes for the parallel experiment engine: 0 = all cores,
+# 1 = deterministic sequential fallback.  Output is bit-identical either way.
+JOBS ?= 0
 
-.PHONY: install test bench replay examples clean-traces all
+.PHONY: install test test-fast bench replay examples clean-traces clean-results all
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,11 +14,16 @@ install:
 test:
 	$(PY) -m pytest tests/
 
+# Fast inner-loop run: unit/integration tests only (skips benchmarks/),
+# fail-fast and quiet.
+test-fast:
+	$(PY) -m pytest tests/ -x -q
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 replay:
-	$(PY) examples/replay_paper.py --refs $(REFS) --out results_full.md
+	$(PY) examples/replay_paper.py --refs $(REFS) --jobs $(JOBS) --out results_full.md
 
 examples:
 	$(PY) examples/quickstart.py
@@ -24,7 +32,12 @@ examples:
 	$(PY) examples/custom_workload.py
 	$(PY) examples/instruction_placement.py
 
+# Removes traces AND the per-cell result cache nested under it.
 clean-traces:
 	rm -rf .trace_cache
+
+# Drop only the memoized per-cell simulation results (keep traces).
+clean-results:
+	rm -rf .trace_cache/results
 
 all: test bench replay

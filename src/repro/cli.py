@@ -4,9 +4,11 @@
 
     repro-cache list                      # workloads, schemes, experiments
     repro-cache run fig4 [--refs N] [--seed S] [--scale X] [--bars COL]
-    repro-cache run all --out EXPERIMENTS.md
+                         [--jobs J] [--no-result-cache]
+    repro-cache run all --out EXPERIMENTS.md --jobs 0   # 0 = all cores
     repro-cache trace fft --refs 100000 --out fft.npz [--format din]
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
+    repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
 """
 
 from __future__ import annotations
@@ -48,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=None, help="workload problem-size scale")
     run.add_argument("--bars", default=None, help="also render this column as a bar chart")
     run.add_argument("--out", type=Path, default=None, help="append markdown to this file")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment grids (1 = sequential, 0 = all "
+        "cores; results are bit-identical either way)",
+    )
+    run.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the on-disk per-cell result cache for this run",
+    )
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
     trace.add_argument("workload")
@@ -62,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--schemes", default="modulo,xor,odd_multiplier,prime_modulo")
     sweep.add_argument("--refs", type=int, default=100_000)
     sweep.add_argument("--seed", type=int, default=2011)
+
+    cache = sub.add_parser("cache", help="inspect or clear the on-disk result/trace caches")
+    cache.add_argument(
+        "--trace-dir", type=Path, default=None, help="trace-cache root (default .trace_cache)"
+    )
+    cache.add_argument("--clear", action="store_true", help="delete all cached cell results")
+    cache.add_argument(
+        "--clear-traces", action="store_true", help="also delete all cached traces"
+    )
 
     uni = sub.add_parser(
         "uniformity", help="per-set access/miss profile of a workload under a scheme"
@@ -82,6 +105,10 @@ def _config_from(args) -> PaperConfig:
         updates["seed"] = args.seed
     if getattr(args, "scale", None) is not None:
         updates["workload_scale"] = args.scale
+    if getattr(args, "jobs", None) is not None:
+        updates["jobs"] = args.jobs
+    if getattr(args, "no_result_cache", False):
+        updates["use_result_cache"] = False
     return replace(cfg, **updates) if updates else cfg
 
 
@@ -134,6 +161,31 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .experiments.engine import ResultCache
+
+    cfg = PaperConfig()
+    trace_dir = args.trace_dir if args.trace_dir is not None else cfg.trace_cache_dir
+    trace_dir = Path(trace_dir)
+    result_dir = trace_dir / "results"
+    results = ResultCache(result_dir)
+    n_traces = sum(1 for _ in trace_dir.glob("*.npz"))
+    print(f"trace cache   {trace_dir}: {n_traces} trace(s)")
+    print(
+        f"result cache  {result_dir}: {len(results)} cell result(s), "
+        f"{results.size_bytes() / 1024:.1f} KiB"
+    )
+    if args.clear or args.clear_traces:
+        removed = results.clear()
+        print(f"cleared {removed} cell result(s)")
+    if args.clear_traces:
+        from .trace.io import TraceCache
+
+        TraceCache(trace_dir).clear()
+        print(f"cleared {n_traces} trace(s)")
+    return 0
+
+
 def _cmd_uniformity(args) -> int:
     from .core.uniformity import uniformity_report, zhang_classification
     from .experiments.report import sparkline
@@ -168,6 +220,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "uniformity":
         return _cmd_uniformity(args)
     return 1  # pragma: no cover

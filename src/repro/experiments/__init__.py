@@ -24,6 +24,13 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fig14_partitioned_amat,
 )
 from .config import MULTITHREAD_MIXES_FIG13, MULTITHREAD_MIXES_FIG14, PaperConfig
+from .engine import (
+    CellExecutionError,
+    EngineStats,
+    ExperimentEngine,
+    ResultCache,
+    effective_jobs,
+)
 from .report import ExperimentResult, render_bars, render_table, sparkline
 from .runner import (
     EXPERIMENT_REGISTRY,
@@ -46,4 +53,9 @@ __all__ = [
     "available_experiments",
     "EXPERIMENT_REGISTRY",
     "workload_trace",
+    "ExperimentEngine",
+    "EngineStats",
+    "ResultCache",
+    "CellExecutionError",
+    "effective_jobs",
 ]

@@ -82,6 +82,25 @@ class PaperConfig:
     # On-disk trace cache (regeneration is the slow part of a sweep).
     trace_cache_dir: Path = field(default_factory=lambda: Path(".trace_cache"))
 
+    # -- parallel experiment engine ------------------------------------------------
+    #: Worker processes for experiment grids: 1 = deterministic in-process
+    #: sequential fallback (the default for tests), 0 = all cores
+    #: (``os.cpu_count()``), N = exactly N.  Parallel runs are bit-identical
+    #: to sequential ones.
+    jobs: int = 1
+    #: Memoize per-cell SimulationResults on disk (content-addressed by
+    #: trace fingerprint + geometry + scheme params + engine version).
+    use_result_cache: bool = True
+    #: Result-cache root; ``None`` → ``<trace_cache_dir>/results`` so tests
+    #: pointing the trace cache at a tmp dir stay hermetic automatically.
+    result_cache_dir: Path | None = None
+
+    @property
+    def result_cache_path(self) -> Path:
+        if self.result_cache_dir is not None:
+            return Path(self.result_cache_dir)
+        return Path(self.trace_cache_dir) / "results"
+
     def scaled_down(self, ref_limit: int, scale: float | None = None) -> "PaperConfig":
         """A cheaper configuration for tests/benches (same semantics)."""
         return replace(

@@ -1,0 +1,36 @@
+"""Parallel experiment execution engine.
+
+Every paper figure is, at heart, a grid of independent *cells* — one
+(workload trace, indexing scheme / cache model) simulation per bar of the
+figure.  This subpackage decomposes those grids into
+:class:`~repro.experiments.engine.cells.SimCell` specs, fans the missing
+cells out over a ``ProcessPoolExecutor`` (``jobs=1`` is a deterministic
+in-process fallback) and memoizes every per-cell
+:class:`~repro.core.simulator.SimulationResult` in a content-addressed
+on-disk :class:`~repro.experiments.engine.cache.ResultCache` keyed by
+(trace fingerprint, geometry, scheme parameters, engine version).
+
+Parallel results are bit-identical to sequential ones: each cell is a pure
+function of its spec, and aggregation always happens in the declared cell
+order regardless of completion order.  The differential-test layer
+(``tests/core/test_fastsim_differential.py`` and
+``tests/experiments/test_parallel_engine.py``) enforces both properties.
+"""
+
+from .cache import ENGINE_VERSION, ResultCache, trace_fingerprint
+from .cells import CellExecutionError, SimCell, execute_cell, make_cell
+from .parallel import EngineStats, ExperimentEngine, effective_jobs, run_cells
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ResultCache",
+    "trace_fingerprint",
+    "SimCell",
+    "make_cell",
+    "execute_cell",
+    "CellExecutionError",
+    "ExperimentEngine",
+    "EngineStats",
+    "effective_jobs",
+    "run_cells",
+]

@@ -1,0 +1,186 @@
+"""Cell specs: one picklable description per independent simulation.
+
+A :class:`SimCell` names everything a worker process needs to recompute one
+bar of a figure from scratch: the workload (regenerated or loaded through
+the shared on-disk :class:`~repro.trace.io.TraceCache`), the scheme or
+cache-model to build, and the configuration parameters that influence the
+outcome.  ``execute_cell`` is the single entry point used by both the
+sequential fallback and the process-pool workers, so ``jobs=1`` and
+``jobs=N`` run byte-for-byte the same code per cell.
+
+Cell kinds
+----------
+``baseline``
+    Conventional modulo-indexed direct-mapped run (vectorised fast path).
+``indexing``
+    One Figure-4 scheme (XOR / odd-multiplier / prime-modulo / Givargis /
+    Givargis-XOR) over a direct-mapped cache; trainable schemes are fitted
+    on the profiling trace inside the worker (deterministic given seeds).
+``progassoc``
+    One Figure-6 programmable-associativity model (adaptive / B-cache /
+    column-associative), driven by the sequential reference engine.
+``colassoc``
+    Figure-8 column-associative cache with a non-conventional primary
+    index; label ``ColAssoc_Base`` is the conventionally-indexed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ...core.caches import ColumnAssociativeCache
+from ...core.indexing import (
+    GivargisIndexing,
+    GivargisXorIndexing,
+    ModuloIndexing,
+    OddMultiplierIndexing,
+    PrimeModuloIndexing,
+    XorIndexing,
+)
+from ...core.simulator import SimulationResult, simulate, simulate_indexing
+from ..config import PaperConfig
+
+__all__ = [
+    "SimCell",
+    "make_cell",
+    "execute_cell",
+    "timed_execute_cell",
+    "CellExecutionError",
+    "CELL_KINDS",
+]
+
+CELL_KINDS = ("baseline", "indexing", "progassoc", "colassoc")
+
+#: Indexing-cell labels that require an off-line profiling (training) run.
+_TRAINABLE_LABELS = frozenset({"Givargis", "Givargis_Xor"})
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed; the message names the (workload, scheme) pair.
+
+    Raised by the engine (never inside a worker process, so there is no
+    cross-process pickling of custom exception constructors) with the
+    original exception chained as ``__cause__``.
+    """
+
+
+@dataclass(frozen=True)
+class SimCell:
+    """One independent (workload, technique) simulation."""
+
+    kind: str
+    workload: str
+    label: str
+    #: Canonical ``(name, value)`` pairs folded into the result-cache key;
+    #: everything (beyond the trace itself) that influences the outcome.
+    params: tuple = ()
+    #: Whether the worker must also materialise the profiling trace.
+    needs_profile: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}/{self.label}"
+
+
+def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimCell:
+    """Build a cell, capturing the config knobs relevant to ``kind``/``label``."""
+    if kind not in CELL_KINDS:
+        raise ValueError(f"unknown cell kind {kind!r}; known: {CELL_KINDS}")
+    params: list[tuple] = []
+    needs_profile = False
+    if kind == "indexing":
+        if label == "Odd_Multiplier":
+            params.append(("odd_multiplier", config.odd_multiplier))
+        if label in _TRAINABLE_LABELS:
+            needs_profile = True
+            params.append(("profile_seed_offset", config.profile_seed_offset))
+    elif kind == "progassoc":
+        if label == "Adaptive_Cache":
+            params.append(("sht_fraction", config.sht_fraction))
+            params.append(("out_fraction", config.out_fraction))
+        elif label == "B_Cache":
+            params.append(("mapping_factor", config.bcache_mapping_factor))
+            params.append(("bas", config.bcache_bas))
+    elif kind == "colassoc":
+        if label == "ColAssoc_Odd_Multiplier":
+            params.append(("odd_multiplier", config.odd_multiplier))
+    return SimCell(
+        kind=kind,
+        workload=workload,
+        label=label,
+        params=tuple(params),
+        needs_profile=needs_profile,
+    )
+
+
+# -- execution (runs in the parent at jobs=1, in pool workers otherwise) ----------
+
+
+def _build_indexing_scheme(cell: SimCell, config: PaperConfig):
+    g = config.geometry
+    if cell.label == "XOR":
+        return XorIndexing(g)
+    if cell.label == "Odd_Multiplier":
+        return OddMultiplierIndexing(g, config.odd_multiplier)
+    if cell.label == "Prime_Modulo":
+        return PrimeModuloIndexing(g)
+    if cell.label in _TRAINABLE_LABELS:
+        from ..runner import profile_trace
+
+        fit_addrs = profile_trace(cell.workload, config).addresses
+        cls = GivargisIndexing if cell.label == "Givargis" else GivargisXorIndexing
+        return cls(g).fit(fit_addrs)
+    raise ValueError(f"unknown indexing-cell label {cell.label!r}")
+
+
+def _build_colassoc_index(cell: SimCell, config: PaperConfig):
+    g = config.geometry
+    if cell.label == "ColAssoc_Base":
+        return None
+    if cell.label == "ColAssoc_XOR":
+        return XorIndexing(g)
+    if cell.label == "ColAssoc_Odd_Multiplier":
+        return OddMultiplierIndexing(g, config.odd_multiplier)
+    if cell.label == "ColAssoc_Prime_Modulo":
+        return PrimeModuloIndexing(g)
+    raise ValueError(f"unknown column-associative cell label {cell.label!r}")
+
+
+def execute_cell(cell: SimCell, config: PaperConfig) -> SimulationResult:
+    """Run one cell from its spec alone (pure, deterministic).
+
+    The workload trace is materialised through the shared on-disk trace
+    cache — the engine pre-warms it in the parent so worker processes only
+    ever read.
+    """
+    from ..runner import progassoc_lineup, workload_trace
+
+    trace = workload_trace(cell.workload, config)
+    g = config.geometry
+    if cell.kind == "baseline":
+        return simulate_indexing(ModuloIndexing(g), trace, g)
+    if cell.kind == "indexing":
+        return simulate_indexing(_build_indexing_scheme(cell, config), trace, g)
+    if cell.kind == "progassoc":
+        try:
+            factory = progassoc_lineup(config)[cell.label]
+        except KeyError:
+            raise ValueError(f"unknown programmable-associativity label {cell.label!r}") from None
+        return simulate(factory(), trace)
+    if cell.kind == "colassoc":
+        indexing = _build_colassoc_index(cell, config)
+        cache = ColumnAssociativeCache(g) if indexing is None else ColumnAssociativeCache(
+            g, indexing=indexing
+        )
+        return simulate(cache, trace)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def timed_execute_cell(
+    cell: SimCell, config: PaperConfig
+) -> tuple[SimulationResult, float]:
+    """``execute_cell`` plus wall-clock seconds (the pool-worker entry point)."""
+    t0 = time.perf_counter()
+    result = execute_cell(cell, config)
+    return result, time.perf_counter() - t0

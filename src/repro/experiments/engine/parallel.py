@@ -1,0 +1,222 @@
+"""Fan-out executor: run a list of cells, memoized and optionally parallel.
+
+``run_cells`` (or the thin :class:`ExperimentEngine` wrapper the figure
+runners use) takes the declared cell list of one experiment grid and
+
+1. pre-warms the on-disk trace cache in the parent — workers only read, so
+   there is no write race on trace files — and fingerprints each trace;
+2. answers as many cells as possible from the content-addressed
+   :class:`~repro.experiments.engine.cache.ResultCache`;
+3. executes the remaining cells either in-process (``jobs=1``, the
+   deterministic sequential fallback) or on a ``ProcessPoolExecutor``
+   (``jobs>1``; ``jobs=0`` means ``os.cpu_count()``); then
+4. returns ``{(workload, label): SimulationResult}`` **in declared cell
+   order** plus an :class:`EngineStats` with cache-hit/miss counters and
+   per-cell wall times.
+
+Because every cell is a pure function of its spec and aggregation order is
+fixed by the caller's declaration order, parallel runs are bit-identical to
+sequential ones — a property locked down by
+``tests/experiments/test_parallel_engine.py``.
+
+Worker failures are re-raised in the parent as
+:class:`~repro.experiments.engine.cells.CellExecutionError` naming the
+failing (workload, scheme) cell, with the original exception chained.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ...core.simulator import SimulationResult
+from ..config import PaperConfig
+from .cache import ResultCache, cell_key, trace_fingerprint
+from .cells import CellExecutionError, SimCell, timed_execute_cell
+
+__all__ = ["EngineStats", "ExperimentEngine", "effective_jobs", "run_cells"]
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value: ``None``/``0``/negative → all cores."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine invocation (exposed on ``ExperimentResult``)."""
+
+    jobs: int = 1
+    cells_total: int = 0
+    cache_hits: int = 0
+    #: Cells actually simulated this run (== cache misses).
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    #: Per-cell simulation wall time, keyed ``"workload/label"``.
+    cell_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def simulated(self) -> int:
+        return self.cache_misses
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate another invocation (figures sharing one grid)."""
+        self.cells_total += other.cells_total
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.wall_seconds += other.wall_seconds
+        self.cell_seconds.update(other.cell_seconds)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "cells_total": self.cells_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cell_seconds": {k: round(v, 6) for k, v in self.cell_seconds.items()},
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.cells_total} cells: {self.cache_hits} cached, "
+            f"{self.cache_misses} simulated, jobs={self.jobs}, "
+            f"{self.wall_seconds:.2f}s"
+        )
+
+
+def _prefetch_fingerprints(
+    cells: Sequence[SimCell], config: PaperConfig
+) -> tuple[dict[str, str], dict[str, str]]:
+    """Materialise every needed trace once, in the parent; return digests."""
+    from ..runner import profile_trace, workload_trace
+
+    trace_fp: dict[str, str] = {}
+    profile_fp: dict[str, str] = {}
+    for cell in cells:
+        try:
+            if cell.workload not in trace_fp:
+                trace_fp[cell.workload] = trace_fingerprint(
+                    workload_trace(cell.workload, config)
+                )
+            if cell.needs_profile and cell.workload not in profile_fp:
+                profile_fp[cell.workload] = trace_fingerprint(
+                    profile_trace(cell.workload, config)
+                )
+        except Exception as exc:
+            raise CellExecutionError(
+                f"experiment cell ({cell.workload}, {cell.label}) failed "
+                f"during trace prefetch: {exc}"
+            ) from exc
+    return trace_fp, profile_fp
+
+
+def run_cells(
+    cells: Iterable[SimCell],
+    config: PaperConfig,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+) -> tuple[dict[tuple[str, str], SimulationResult], EngineStats]:
+    """Execute a cell grid; see the module docstring for the contract."""
+    cells = list(cells)
+    jobs = effective_jobs(config.jobs if jobs is None else jobs)
+    t_start = time.perf_counter()
+    stats = EngineStats(jobs=jobs, cells_total=len(cells))
+
+    if result_cache is None and config.use_result_cache:
+        result_cache = ResultCache(config.result_cache_path)
+
+    trace_fp, profile_fp = _prefetch_fingerprints(cells, config)
+    keys = {
+        cell: cell_key(
+            cell.kind,
+            cell.label,
+            cell.params,
+            config.geometry,
+            trace_fp[cell.workload],
+            profile_fp.get(cell.workload) if cell.needs_profile else None,
+        )
+        for cell in cells
+    }
+
+    results: dict[tuple[str, str], SimulationResult] = {}
+    pending: list[SimCell] = []
+    for cell in cells:
+        cached = result_cache.load(keys[cell]) if result_cache is not None else None
+        if cached is not None:
+            results[(cell.workload, cell.label)] = cached
+            stats.cache_hits += 1
+        else:
+            pending.append(cell)
+
+    computed: dict[SimCell, tuple[SimulationResult, float]] = {}
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for cell in pending:
+                try:
+                    computed[cell] = timed_execute_cell(cell, config)
+                except Exception as exc:
+                    raise CellExecutionError(
+                        f"experiment cell ({cell.workload}, {cell.label}) failed: {exc}"
+                    ) from exc
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    cell: pool.submit(timed_execute_cell, cell, config)
+                    for cell in pending
+                }
+                for cell, future in futures.items():
+                    try:
+                        computed[cell] = future.result()
+                    except Exception as exc:
+                        raise CellExecutionError(
+                            f"experiment cell ({cell.workload}, {cell.label}) "
+                            f"failed in worker: {exc}"
+                        ) from exc
+
+    for cell in pending:
+        result, seconds = computed[cell]
+        results[(cell.workload, cell.label)] = result
+        stats.cache_misses += 1
+        stats.cell_seconds[cell.name] = seconds
+        if result_cache is not None:
+            result_cache.store(keys[cell], result)
+
+    # Deterministic aggregation order: the caller's declaration order, not
+    # completion order.
+    ordered = {
+        (cell.workload, cell.label): results[(cell.workload, cell.label)]
+        for cell in cells
+    }
+    stats.wall_seconds = time.perf_counter() - t_start
+    return ordered, stats
+
+
+class ExperimentEngine:
+    """Convenience wrapper binding a config (+ optional overrides)."""
+
+    def __init__(
+        self,
+        config: PaperConfig,
+        jobs: int | None = None,
+        result_cache: ResultCache | None = None,
+    ):
+        self.config = config
+        self.jobs = effective_jobs(config.jobs if jobs is None else jobs)
+        if result_cache is None and config.use_result_cache:
+            result_cache = ResultCache(config.result_cache_path)
+        self.result_cache = result_cache
+
+    def run(
+        self, cells: Iterable[SimCell]
+    ) -> tuple[dict[tuple[str, str], SimulationResult], EngineStats]:
+        return run_cells(
+            cells, self.config, jobs=self.jobs, result_cache=self.result_cache
+        )

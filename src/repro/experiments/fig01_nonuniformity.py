@@ -9,20 +9,21 @@ percentages, plus the full uniformity metric suite for context.
 
 from __future__ import annotations
 
-from ..core.indexing import ModuloIndexing
-from ..core.simulator import simulate_indexing
 from ..core.uniformity import uniformity_report, zhang_classification
 from .config import PaperConfig
+from .engine import ExperimentEngine, make_cell
 from .report import ExperimentResult, sparkline
-from .runner import register_experiment, workload_trace
+from .runner import register_experiment
 
 __all__ = ["run_fig01"]
 
 
 @register_experiment("fig1")
 def run_fig01(config: PaperConfig) -> ExperimentResult:
-    trace = workload_trace("fft", config)
-    sim = simulate_indexing(ModuloIndexing(config.geometry), trace, config.geometry)
+    sims, stats = ExperimentEngine(config).run(
+        [make_cell("baseline", "fft", "baseline", config)]
+    )
+    sim = sims[("fft", "baseline")]
     accesses = sim.slot_accesses
     rep = uniformity_report(accesses)
     zh = zhang_classification(accesses, sim.slot_hits, sim.slot_misses)
@@ -49,4 +50,5 @@ def run_fig01(config: PaperConfig) -> ExperimentResult:
         "paper: 90.43% of sets < half average accesses, 6.641% > 2x average"
     )
     result.note("per-set access profile: " + sparkline(accesses))
+    result.engine_stats = stats.as_dict()
     return result

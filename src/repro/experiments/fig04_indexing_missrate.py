@@ -9,18 +9,12 @@ whose baselines are near zero — their -5e8% bar for susan).
 
 from __future__ import annotations
 
-from ..core.simulator import simulate_indexing
 from ..core.uniformity import percent_reduction
 from ..workloads.mibench import MIBENCH_ORDER
 from .config import PaperConfig
+from .engine import ExperimentEngine, make_cell
 from .report import ExperimentResult
-from .runner import (
-    baseline_result,
-    indexing_lineup,
-    profile_trace,
-    register_experiment,
-    workload_trace,
-)
+from .runner import register_experiment
 
 __all__ = ["run_fig04", "INDEXING_COLUMNS"]
 
@@ -48,19 +42,25 @@ def _run_fig04(config: PaperConfig) -> ExperimentResult:
         title="% reduction in miss rate, indexing schemes vs conventional",
         columns=INDEXING_COLUMNS,
     )
+    # Declare the full workload × scheme grid up front; the engine memoizes
+    # each cell on disk and fans cache misses out over config.jobs workers.
+    cells = []
     for bench in MIBENCH_ORDER:
-        trace = workload_trace(bench, config)
-        base = baseline_result(trace, config)
-        schemes = indexing_lineup(
-            config.geometry, trace, config, train_trace=profile_trace(bench, config)
+        cells.append(make_cell("baseline", bench, "baseline", config))
+        cells.extend(
+            make_cell("indexing", bench, label, config) for label in INDEXING_COLUMNS
         )
+    sims, stats = ExperimentEngine(config).run(cells)
+    for bench in MIBENCH_ORDER:
+        base = sims[(bench, "baseline")]
         row = {}
-        for label, scheme in schemes.items():
-            sim = simulate_indexing(scheme, trace, config.geometry)
+        for label in INDEXING_COLUMNS:
+            sim = sims[(bench, label)]
             row[label] = percent_reduction(sim.misses, base.misses)
             result.arrays[f"{bench}/{label}/misses_per_set"] = sim.slot_misses
         result.arrays[f"{bench}/baseline/misses_per_set"] = base.slot_misses
         result.add_row(bench, row)
     result.add_average_row()
     result.note("paper shape: mixed signs, no universal winner, Givargis worst average")
+    result.engine_stats = stats.as_dict()
     return result

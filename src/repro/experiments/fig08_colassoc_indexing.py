@@ -10,14 +10,12 @@ out calculix and sjeng).
 
 from __future__ import annotations
 
-from ..core.caches import ColumnAssociativeCache
-from ..core.indexing import OddMultiplierIndexing, PrimeModuloIndexing, XorIndexing
-from ..core.simulator import simulate
 from ..core.uniformity import percent_reduction
 from ..workloads.spec import SPEC_ORDER
 from .config import PaperConfig
+from .engine import ExperimentEngine, make_cell
 from .report import ExperimentResult
-from .runner import register_experiment, workload_trace
+from .runner import register_experiment
 
 __all__ = ["run_fig08", "FIG8_COLUMNS"]
 
@@ -30,25 +28,26 @@ FIG8_COLUMNS = [
 
 @register_experiment("fig8")
 def run_fig08(config: PaperConfig) -> ExperimentResult:
-    g = config.geometry
     result = ExperimentResult(
         experiment_id="fig8",
         title="% reduction in miss rate: indexed column-associative vs plain",
         columns=FIG8_COLUMNS,
     )
+    cells = []
     for bench in SPEC_ORDER:
-        trace = workload_trace(bench, config)
-        base = simulate(ColumnAssociativeCache(g), trace)
-        variants = {
-            "ColAssoc_XOR": XorIndexing(g),
-            "ColAssoc_Odd_Multiplier": OddMultiplierIndexing(g, config.odd_multiplier),
-            "ColAssoc_Prime_Modulo": PrimeModuloIndexing(g),
+        cells.append(make_cell("colassoc", bench, "ColAssoc_Base", config))
+        cells.extend(
+            make_cell("colassoc", bench, label, config) for label in FIG8_COLUMNS
+        )
+    sims, stats = ExperimentEngine(config).run(cells)
+    for bench in SPEC_ORDER:
+        base = sims[(bench, "ColAssoc_Base")]
+        row = {
+            label: percent_reduction(sims[(bench, label)].misses, base.misses)
+            for label in FIG8_COLUMNS
         }
-        row = {}
-        for label, scheme in variants.items():
-            sim = simulate(ColumnAssociativeCache(g, indexing=scheme), trace)
-            row[label] = percent_reduction(sim.misses, base.misses)
         result.add_row(bench, row)
     result.add_average_row()
     result.note("paper shape: odd-multiplier best on average; some benchmarks regress")
+    result.engine_stats = stats.as_dict()
     return result

@@ -39,6 +39,9 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: Raw per-set arrays or other bulk data keyed by name.
     arrays: dict[str, Any] = field(default_factory=dict)
+    #: Execution counters from the parallel engine (cache hits/misses,
+    #: per-cell wall times, jobs).  Empty for figures not yet on the engine.
+    engine_stats: dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, label: str, values: dict[str, float]) -> None:
         unknown = set(values) - set(self.columns)
@@ -76,9 +79,23 @@ class ExperimentResult:
             "\n" + "\n".join(f"- {n}" for n in self.notes) + "\n" if self.notes else ""
         )
 
+    def engine_summary(self) -> str:
+        """One-line execution summary (empty string when no engine stats)."""
+        s = self.engine_stats
+        if not s:
+            return ""
+        return (
+            f"engine: {s.get('cells_total', 0)} cells, "
+            f"{s.get('cache_hits', 0)} cached, "
+            f"{s.get('cache_misses', 0)} simulated, "
+            f"jobs={s.get('jobs', 1)}, {s.get('wall_seconds', 0.0):.2f}s"
+        )
+
     def __str__(self) -> str:
         lines = [f"== {self.experiment_id}: {self.title} ==", render_table(self)]
         lines.extend(f"  note: {n}" for n in self.notes)
+        if self.engine_stats:
+            lines.append(f"  {self.engine_summary()}")
         return "\n".join(lines)
 
 
@@ -111,6 +128,7 @@ def save_result(result: ExperimentResult, path: str | Path) -> Path:
         "scalar_arrays": scalars,
         "skipped_arrays": skipped,
         "has_npz": bool(arrays),
+        "engine_stats": result.engine_stats,
     }
     path.write_text(json.dumps(doc, indent=2))
     if arrays:
@@ -128,6 +146,7 @@ def load_result(path: str | Path) -> ExperimentResult:
         columns=list(doc["columns"]),
         unit=doc.get("unit", "%"),
         notes=list(doc.get("notes", [])),
+        engine_stats=dict(doc.get("engine_stats", {})),
     )
     result.rows = {label: dict(row) for label, row in doc["rows"].items()}
     result.arrays.update(doc.get("scalar_arrays", {}))

@@ -9,6 +9,7 @@ geometry's paper defaults.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 from ..core.address import CacheGeometry
@@ -60,8 +61,21 @@ def register_experiment(experiment_id: str):
     return decorator
 
 
-def run_experiment(experiment_id: str, config: PaperConfig | None = None) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str,
+    config: PaperConfig | None = None,
+    *,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Run one registered experiment.
+
+    ``jobs`` overrides ``config.jobs`` for the parallel engine (``1`` =
+    sequential fallback, ``0`` = all cores); results are bit-identical
+    either way.
+    """
     config = config or PaperConfig()
+    if jobs is not None:
+        config = replace(config, jobs=jobs)
     try:
         fn = EXPERIMENT_REGISTRY[experiment_id]
     except KeyError:
