@@ -6,7 +6,7 @@ REFS ?= 120000
 # 1 = deterministic sequential fallback.  Output is bit-identical either way.
 JOBS ?= 0
 
-.PHONY: install test test-fast bench replay examples clean-traces clean-results all
+.PHONY: install test test-fast bench bench-check replay examples clean-traces clean-results all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,8 +19,18 @@ test:
 test-fast:
 	$(PY) -m pytest tests/ -x -q
 
+# Full benchmark suite, with the run archived as BENCH_<sha>.json so the
+# engine canaries (benchmarks/test_engine_micro.py) can be regression-gated.
 bench:
-	$(PY) -m pytest benchmarks/ --benchmark-only
+	$(PY) -m pytest benchmarks/ --benchmark-only \
+	  --benchmark-json=BENCH_$$(git rev-parse --short HEAD).json
+
+# Replay only the engine micro-benchmarks and gate them against the
+# committed BENCH_*.json baseline (>25% slowdown on any canary fails).
+bench-check:
+	$(PY) -m pytest benchmarks/test_engine_micro.py --benchmark-only \
+	  --benchmark-json=bench-candidate.json
+	$(PY) benchmarks/check_regression.py bench-candidate.json
 
 replay:
 	$(PY) examples/replay_paper.py --refs $(REFS) --jobs $(JOBS) --out results_full.md

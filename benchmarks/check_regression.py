@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for the engine micro-benchmarks.
+
+Compares a freshly produced ``pytest-benchmark`` JSON report against the
+committed ``BENCH_*.json`` baseline in the repository root and exits
+non-zero when any shared benchmark regressed by more than the threshold
+(default 25%, override with ``BENCH_REGRESSION_THRESHOLD``, e.g. ``1.25``).
+
+Times are compared on the per-round **minimum**, the most repeatable
+statistic across machines (means absorb scheduler noise and GC pauses).
+Benchmarks present in only one file are reported but never fail the gate —
+adding or retiring a canary must not require touching the baseline in the
+same commit.
+
+Usage::
+
+    python benchmarks/check_regression.py NEW.json [BASELINE.json]
+
+When ``BASELINE.json`` is omitted, the newest committed ``BENCH_*.json``
+(by its embedded timestamp) is used; if none exists the gate passes with a
+notice, so the very first baseline commit does not deadlock CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_THRESHOLD = 1.25
+
+
+def load_stats(path: Path) -> dict[str, float]:
+    """Map fully-qualified benchmark name -> min time in seconds."""
+    with path.open() as fh:
+        payload = json.load(fh)
+    out: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        out[name] = float(bench["stats"]["min"])
+    return out
+
+
+def find_baseline() -> Path | None:
+    """Newest committed BENCH_*.json by its embedded run timestamp."""
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not candidates:
+        return None
+
+    def run_date(p: Path) -> str:
+        try:
+            with p.open() as fh:
+                return json.load(fh).get("datetime", "")
+        except (OSError, json.JSONDecodeError):
+            return ""
+
+    return max(candidates, key=lambda p: (run_date(p), p.name))
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    new_path = Path(argv[1])
+    baseline_path = Path(argv[2]) if len(argv) == 3 else find_baseline()
+    if baseline_path is None:
+        print("check_regression: no committed BENCH_*.json baseline; passing.")
+        return 0
+    if baseline_path.resolve() == new_path.resolve():
+        print(f"check_regression: {new_path} is the baseline itself; passing.")
+        return 0
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", DEFAULT_THRESHOLD))
+
+    new = load_stats(new_path)
+    base = load_stats(baseline_path)
+    shared = sorted(set(new) & set(base))
+    only_new = sorted(set(new) - set(base))
+    only_base = sorted(set(base) - set(new))
+
+    print(f"baseline : {baseline_path.name}")
+    print(f"candidate: {new_path}")
+    print(f"threshold: >{(threshold - 1) * 100:.0f}% slower fails\n")
+
+    failures: list[str] = []
+    width = max((len(n) for n in shared), default=10)
+    for name in shared:
+        ratio = new[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "ok"
+        if ratio > threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(
+            f"{name:<{width}}  {base[name] * 1e3:>12.3f}ms -> "
+            f"{new[name] * 1e3:>12.3f}ms  x{ratio:5.2f}  {verdict}"
+        )
+    for name in only_new:
+        print(f"{name:<{width}}  (new benchmark, no baseline — not gated)")
+    for name in only_base:
+        print(f"{name:<{width}}  (baseline only — retired? not gated)")
+
+    if not shared:
+        print("check_regression: no shared benchmarks to compare; passing.")
+        return 0
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond the threshold:")
+        for name in failures:
+            print(f"  - {name}")
+        return 1
+    print(f"\nAll {len(shared)} shared benchmarks within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

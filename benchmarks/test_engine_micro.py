@@ -1,17 +1,22 @@
 """Engine micro-benchmarks: throughput of the two simulation engines and of
 every indexing scheme's vectorised path.
 
-These are the repository's performance-regression canaries: the vectorised
-direct-mapped path should sustain millions of references per second and stay
-well over an order of magnitude faster than the sequential engine.
+These are the repository's performance-regression canaries (CI replays this
+file against the committed ``BENCH_*.json`` baseline and fails on >25%
+regression): the vectorised direct-mapped path should sustain millions of
+references per second, the k-way stack-distance kernel should clear a
+4-way, million-access trace in seconds, and both must stay an order of
+magnitude faster than the sequential engine.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.core.address import PAPER_L1_GEOMETRY
-from repro.core.caches import DirectMappedCache
+from repro.core.address import CacheGeometry, PAPER_L1_GEOMETRY
+from repro.core.caches import DirectMappedCache, SetAssociativeCache
 from repro.core.indexing import (
     GivargisIndexing,
     ModuloIndexing,
@@ -19,11 +24,13 @@ from repro.core.indexing import (
     PrimeModuloIndexing,
     XorIndexing,
 )
-from repro.core.simulator import simulate, simulate_indexing
+from repro.core.simulator import simulate, simulate_indexing, simulate_set_associative
 from repro.trace import zipf_trace
 
 G = PAPER_L1_GEOMETRY
+G4 = CacheGeometry(G.capacity_bytes, G.line_bytes, 4, G.address_bits)
 TRACE = zipf_trace(200_000, seed=17)
+TRACE_1M = zipf_trace(1_000_000, seed=17)
 
 
 def test_vectorised_engine_throughput(benchmark):
@@ -58,3 +65,43 @@ def test_givargis_training_cost(benchmark):
         return GivargisIndexing(G).fit(TRACE.addresses)
 
     assert benchmark(run).fitted
+
+
+def test_kway_stack_distance_kernel_1m(benchmark):
+    """The tentpole workload: a 4-way LRU run over one million accesses.
+
+    Measures the offline stack-distance kernel end to end (index mapping,
+    reuse distances, per-set histograms) and — inside the same test so the
+    claim travels with the number — checks it beats the sequential engine by
+    at least 10× on per-access cost, extrapolating the sequential engine
+    from a 25k-access slice (running it over the full million accesses would
+    take minutes, which is the point).
+    """
+    scheme = ModuloIndexing(G4)
+    result = benchmark.pedantic(
+        lambda: simulate_set_associative(scheme, TRACE_1M, G4),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.accesses == len(TRACE_1M)
+    assert result.model == "set_associative[modulo,4way]"
+
+    short = TRACE_1M[:25_000]
+    t0 = time.perf_counter()
+    slow = simulate(SetAssociativeCache(G4, policy="lru"), short)
+    sequential_per_access = (time.perf_counter() - t0) / len(short)
+    assert slow.accesses == len(short)
+    fast_per_access = benchmark.stats.stats.min / len(TRACE_1M)
+    speedup = sequential_per_access / fast_per_access
+    assert speedup >= 10.0, f"k-way fast path only {speedup:.1f}x over sequential"
+
+
+def test_kway_sequential_engine_throughput(benchmark):
+    """Sequential k-way reference cost (the denominator of the speedup)."""
+    short = TRACE_1M[:20_000]
+
+    def run():
+        return simulate(SetAssociativeCache(G4, policy="lru"), short)
+
+    assert benchmark(run).accesses == 20_000

@@ -8,6 +8,7 @@
     repro-cache run all --out EXPERIMENTS.md --jobs 0   # 0 = all cores
     repro-cache trace fft --refs 100000 --out fft.npz [--format din]
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
+    repro-cache sweep --workload fft --ways 4        # k-way LRU fast path
     repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
 """
 
@@ -20,7 +21,7 @@ from pathlib import Path
 
 from .core.address import PAPER_L1_GEOMETRY
 from .core.indexing import TrainableIndexingScheme, available_schemes, make_scheme
-from .core.simulator import simulate_indexing
+from .core.simulator import simulate_indexing, simulate_set_associative
 from .experiments import (
     PaperConfig,
     available_experiments,
@@ -76,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--schemes", default="modulo,xor,odd_multiplier,prime_modulo")
     sweep.add_argument("--refs", type=int, default=100_000)
     sweep.add_argument("--seed", type=int, default=2011)
+    sweep.add_argument(
+        "--ways",
+        type=int,
+        default=1,
+        help="associativity of the swept cache (1 = the paper's direct-mapped "
+        "L1; >1 routes through the k-way LRU stack-distance kernel)",
+    )
+    sweep.add_argument(
+        "--policy",
+        default="lru",
+        help="replacement policy for --ways > 1 (the vectorised kernel "
+        "supports 'lru'; anything else is rejected)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result/trace caches")
     cache.add_argument(
@@ -151,12 +165,23 @@ def _cmd_trace(args) -> int:
 def _cmd_sweep(args) -> int:
     trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
     geometry = PAPER_L1_GEOMETRY
+    if args.ways != 1:
+        geometry = geometry.with_ways(args.ways)
     print(f"{args.workload}: {len(trace)} refs, geometry {geometry.describe()}")
     for name in args.schemes.split(","):
         scheme = make_scheme(name.strip(), geometry)
         if isinstance(scheme, TrainableIndexingScheme):
             scheme.fit(trace.addresses)
-        res = simulate_indexing(scheme, trace, geometry)
+        if args.ways == 1 and args.policy == "lru":
+            res = simulate_indexing(scheme, trace, geometry)
+        else:
+            try:
+                res = simulate_set_associative(
+                    scheme, trace, geometry, policy=args.policy
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         print(f"  {scheme.name:16s} miss_rate={res.miss_rate:.4f} misses={res.misses}")
     return 0
 

@@ -15,7 +15,14 @@ from .amat import (
 from .hierarchy import CacheHierarchy, HierarchyResult
 from .replacement import POLICIES, make_policy
 from .selector import SchemeScore, SchemeSelector, ThreadSchemeTable, profile_schemes
-from .simulator import SimulationResult, simulate, simulate_indexing, warmup_split
+from .simulator import (
+    SimulationResult,
+    simulate,
+    simulate_fully_associative,
+    simulate_indexing,
+    simulate_set_associative,
+    warmup_split,
+)
 from .uniformity import (
     UniformityReport,
     distribution_moments,
@@ -46,6 +53,8 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "simulate_indexing",
+    "simulate_set_associative",
+    "simulate_fully_associative",
     "warmup_split",
     "SchemeScore",
     "SchemeSelector",

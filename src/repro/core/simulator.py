@@ -7,13 +7,17 @@ Two engines, equivalence-tested against each other:
   accumulating exact lookup cycles.  This is the only engine the stateful
   programmable-associativity models (column-associative, adaptive, B-cache,
   victim, partner) can use.
-* :func:`simulate_indexing` — the vectorised fast path for *pure indexing*
-  experiments, where the cache is direct-mapped and only the hash differs
-  (paper Figures 4, 9, 10, 13).  It computes all set indices in one
-  vectorised call and derives hits/misses with the sort-based primitive in
-  :mod:`repro.core.fastsim` — typically two orders of magnitude faster than
+* :func:`simulate_set_associative` — the vectorised fast path for any
+  *stateless-lookup* configuration: a scheme × geometry × ways grid point
+  with LRU replacement.  Direct-mapped runs (paper Figures 4, 9, 10, 13)
+  use the sort-based adjacent-compare primitive; k-way LRU runs (the
+  set-associative baselines behind Figures 6/7/8/11/12/14 and the bounds
+  tables) use the offline stack-distance kernel in
+  :mod:`repro.core.fastsim` — one to two orders of magnitude faster than
   the sequential engine, which matters when the Givargis/Patel trainers and
   the figure sweeps run hundreds of whole-trace simulations.
+  :func:`simulate_indexing` is the historical direct-mapped entry point,
+  kept as the ``ways=1`` specialisation.
 
 Both return a :class:`SimulationResult` carrying global counters, per-slot
 arrays and enough timing classes to evaluate the paper's AMAT formulas.
@@ -29,10 +33,17 @@ from ..trace.event import Trace
 from .address import CacheGeometry
 from .amat import TimingModel, amat_from_cycles
 from .caches.base import CacheModel, CacheStats
-from .fastsim import direct_mapped_miss_flags, per_set_counts
+from .fastsim import direct_mapped_miss_flags, lru_miss_flags, per_set_counts
 from .indexing.base import IndexingScheme
 
-__all__ = ["SimulationResult", "simulate", "simulate_indexing", "warmup_split"]
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "simulate_indexing",
+    "simulate_set_associative",
+    "simulate_fully_associative",
+    "warmup_split",
+]
 
 
 @dataclass
@@ -113,22 +124,140 @@ def simulate(
     ``check_invariants_every`` > 0 calls the model's ``check_invariants``
     periodically (used by the stress tests).
     """
-    addresses = trace.addresses
-    is_write = trace.is_write
-    n = addresses.size
+    n = trace.addresses.size
     if warmup >= n and n > 0:
         raise ValueError("warmup consumes the entire trace")
+    # Hoist the NumPy->Python boxing out of the hot loop: one bulk tolist()
+    # yields plain ints/bools, so the per-access path never pays the
+    # np.uint64.__int__ / np.bool_.__bool__ conversion cost.
+    addresses = trace.addresses.tolist()
+    is_write = trace.is_write.tolist()
+    access = cache.access
     for i in range(warmup):
-        cache.access(int(addresses[i]), bool(is_write[i]))
+        access(addresses[i], is_write[i])
     cache.reset_stats()
     cycles = 0
     checker = getattr(cache, "check_invariants", None) if check_invariants_every else None
     for i in range(warmup, n):
-        result = cache.access(int(addresses[i]), bool(is_write[i]))
+        result = access(addresses[i], is_write[i])
         cycles += result.cycles
         if checker is not None and (i + 1) % check_invariants_every == 0:
             checker()
     return _result_from_stats(cache.name, trace.name, cache.stats, cycles)
+
+
+def _vectorised_result(
+    model: str,
+    trace_name: str,
+    indices: np.ndarray,
+    miss: np.ndarray,
+    num_sets: int,
+    extra: dict[str, int],
+) -> SimulationResult:
+    """Package a miss vector into a :class:`SimulationResult` (1 cycle/access)."""
+    accesses, misses = per_set_counts(indices, miss, num_sets)
+    hits = accesses - misses
+    total = int(indices.size)
+    total_misses = int(miss.sum())
+    return SimulationResult(
+        model=model,
+        trace_name=trace_name,
+        accesses=total,
+        hits=total - total_misses,
+        misses=total_misses,
+        lookup_cycles=total,  # one cycle per access
+        slot_accesses=accesses,
+        slot_hits=hits,
+        slot_misses=misses,
+        extra=extra,
+    )
+
+
+def simulate_set_associative(
+    scheme: IndexingScheme,
+    trace: Trace,
+    geometry: CacheGeometry | None = None,
+    ways: int | None = None,
+    policy: str = "lru",
+    warmup: int = 0,
+) -> SimulationResult:
+    """Vectorised k-way LRU simulation under an indexing scheme.
+
+    Equivalent to ``simulate(SetAssociativeCache(geometry, scheme,
+    policy="lru"), trace)`` — bit-identical hits, misses, per-set histograms
+    and lookup cycles, asserted by the differential test-suite — but
+    computed offline with the stack-distance kernel instead of a per-access
+    Python loop.  ``ways`` defaults to the geometry's associativity;
+    ``ways=1`` uses the cheaper direct-mapped adjacent-compare path.
+
+    Only LRU replacement admits an exact offline solution (the Mattson
+    inclusion property); any other ``policy`` raises — use the sequential
+    :func:`simulate` engine for FIFO/random/PLRU models.
+    """
+    if policy != "lru":
+        raise ValueError(
+            f"the vectorised k-way path is exact only for LRU; got policy "
+            f"{policy!r} — drive SetAssociativeCache through simulate() instead"
+        )
+    geometry = geometry or scheme.geometry
+    ways = geometry.ways if ways is None else int(ways)
+    if ways < 1:
+        raise ValueError("ways must be a positive integer")
+    blocks = trace.blocks(geometry.offset_bits).astype(np.int64)
+    indices = scheme.indices_of(trace.addresses)
+    if indices.size and (indices.min() < 0 or indices.max() >= geometry.num_sets):
+        raise ValueError("indexing scheme produced an out-of-range set index")
+    # Seed warmup state by computing miss flags over the full trace and
+    # dropping the prefix: LRU outcomes depend only on the access history,
+    # so the suffix flags are exactly those of a warmed-up cache.
+    if warmup:
+        if warmup >= blocks.size:
+            raise ValueError("warmup consumes the entire trace")
+        miss = lru_miss_flags(blocks, indices, ways)[warmup:]
+        indices = indices[warmup:]
+    else:
+        miss = lru_miss_flags(blocks, indices, ways)
+    total = int(indices.size)
+    total_misses = int(miss.sum())
+    hits = total - total_misses
+    return _vectorised_result(
+        model=f"set_associative[{scheme.name},{ways}way]",
+        trace_name=trace.name,
+        indices=indices,
+        miss=miss,
+        num_sets=geometry.num_sets,
+        # SetAssociativeCache classes every hit as "direct"; mirror that so
+        # the result dicts compare equal (the key is absent when hits == 0).
+        extra={"direct_hits": hits} if hits else {},
+    )
+
+
+def simulate_fully_associative(
+    trace: Trace, geometry: CacheGeometry | None = None, lines: int | None = None
+) -> SimulationResult:
+    """Vectorised fully-associative LRU bound (one set spanning all lines).
+
+    Equivalent to ``simulate(FullyAssociativeCache(geometry), trace)`` —
+    the single-set degenerate case of the stack-distance kernel, used by the
+    3C classifier and the bounds tables where the OrderedDict-backed model
+    used to dominate wall time.
+    """
+    if geometry is None and lines is None:
+        raise ValueError("provide a geometry or an explicit line count")
+    capacity = int(lines) if lines is not None else geometry.num_lines
+    offset_bits = geometry.offset_bits if geometry is not None else 0
+    blocks = trace.blocks(offset_bits).astype(np.int64)
+    indices = np.zeros(blocks.size, dtype=np.int64)
+    miss = lru_miss_flags(blocks, indices, capacity)
+    hits = int(blocks.size) - int(miss.sum())
+    return _vectorised_result(
+        model="fully_associative",
+        trace_name=trace.name,
+        indices=indices,
+        miss=miss,
+        num_sets=1,
+        extra={"direct_hits": hits} if hits else {},
+    )
 
 
 def simulate_indexing(
@@ -141,7 +270,9 @@ def simulate_indexing(
 
     Equivalent to ``simulate(DirectMappedCache(geometry, scheme), trace)``
     (asserted by the test-suite) but vectorised end to end.  Every access
-    costs 1 lookup cycle, as in the paper's baseline.
+    costs 1 lookup cycle, as in the paper's baseline.  This is the ``ways=1``
+    specialisation of :func:`simulate_set_associative`, kept as its own
+    entry point because the direct-mapped figures label results differently.
     """
     geometry = geometry or scheme.geometry
     if geometry.ways != 1:
@@ -160,20 +291,14 @@ def simulate_indexing(
         indices = indices[warmup:]
     else:
         miss = direct_mapped_miss_flags(blocks, indices)
-    accesses, misses = per_set_counts(indices, miss, geometry.num_sets)
-    hits = accesses - misses
     total = int(indices.size)
     total_misses = int(miss.sum())
-    return SimulationResult(
+    return _vectorised_result(
         model=f"direct_mapped[{scheme.name}]",
         trace_name=trace.name,
-        accesses=total,
-        hits=total - total_misses,
-        misses=total_misses,
-        lookup_cycles=total,  # one cycle per access
-        slot_accesses=accesses,
-        slot_hits=hits,
-        slot_misses=misses,
+        indices=indices,
+        miss=miss,
+        num_sets=geometry.num_sets,
         extra={"direct_hits": total - total_misses},
     )
 

@@ -9,6 +9,8 @@ digests over everything that determines a cell's outcome:
 * the **cache geometry** (capacity, line size, ways, address bits);
 * the cell's **kind / label / parameter** tuple (scheme parameters,
   adaptive-table fractions, B-cache operating point, ...);
+* the **effective associativity and replacement policy** of the simulated
+  structure (``setassoc``/``bounds`` cells override the geometry's ``ways``);
 * the profiling-trace fingerprint for trainable schemes; and
 * :data:`ENGINE_VERSION`, bumped whenever simulation semantics change.
 
@@ -35,7 +37,8 @@ from ...trace.event import Trace
 __all__ = ["ENGINE_VERSION", "ResultCache", "trace_fingerprint", "cell_key"]
 
 #: Bump to invalidate every cached cell result (simulation semantics change).
-ENGINE_VERSION = 1
+#: v2: k-way cells exist and keys carry the effective ways/policy pair.
+ENGINE_VERSION = 2
 
 _ARRAY_FIELDS = ("slot_accesses", "slot_hits", "slot_misses")
 _SCALAR_FIELDS = ("accesses", "hits", "misses", "lookup_cycles")
@@ -57,8 +60,15 @@ def cell_key(
     geometry: CacheGeometry,
     trace_fp: str,
     profile_fp: str | None = None,
+    ways: int | None = None,
+    policy: str = "lru",
 ) -> str:
-    """Deterministic content-addressed key for one cell."""
+    """Deterministic content-addressed key for one cell.
+
+    ``ways``/``policy`` describe the *simulated structure* (``None`` means
+    the geometry's own associativity): a 4-way LRU cell and a 4-way FIFO
+    cell over the same trace/geometry must never alias.
+    """
     doc = {
         "engine_version": ENGINE_VERSION,
         "kind": kind,
@@ -70,6 +80,8 @@ def cell_key(
             geometry.ways,
             geometry.address_bits,
         ],
+        "ways": geometry.ways if ways is None else int(ways),
+        "policy": policy,
         "trace": trace_fp,
         "profile": profile_fp,
     }

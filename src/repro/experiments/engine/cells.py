@@ -22,6 +22,15 @@ Cell kinds
 ``colassoc``
     Figure-8 column-associative cache with a non-conventional primary
     index; label ``ColAssoc_Base`` is the conventionally-indexed baseline.
+``setassoc``
+    One scheme × geometry × ways grid point: a k-way LRU cache simulated by
+    the vectorised stack-distance kernel (labels ``2way``/``4way``/…, or
+    ``FullAssoc`` for the single-set LRU bound).
+``bounds``
+    One ext-bounds comparison column.  Set-associative and fully-associative
+    labels route through the ``setassoc`` fast path; the stateful structures
+    (skewed, victim, adaptive, B-cache, column-associative, Belady) are
+    driven by the sequential reference engine.
 """
 
 from __future__ import annotations
@@ -38,7 +47,13 @@ from ...core.indexing import (
     PrimeModuloIndexing,
     XorIndexing,
 )
-from ...core.simulator import SimulationResult, simulate, simulate_indexing
+from ...core.simulator import (
+    SimulationResult,
+    simulate,
+    simulate_fully_associative,
+    simulate_indexing,
+    simulate_set_associative,
+)
 from ..config import PaperConfig
 
 __all__ = [
@@ -50,7 +65,10 @@ __all__ = [
     "CELL_KINDS",
 ]
 
-CELL_KINDS = ("baseline", "indexing", "progassoc", "colassoc")
+CELL_KINDS = ("baseline", "indexing", "progassoc", "colassoc", "setassoc", "bounds")
+
+#: ``setassoc``/``bounds`` labels handled by the vectorised k-way LRU kernel.
+_WAYS_LABELS = {"2way": 2, "4way": 4, "8way": 8}
 
 #: Indexing-cell labels that require an off-line profiling (training) run.
 _TRAINABLE_LABELS = frozenset({"Givargis", "Givargis_Xor"})
@@ -77,6 +95,11 @@ class SimCell:
     params: tuple = ()
     #: Whether the worker must also materialise the profiling trace.
     needs_profile: bool = False
+    #: Associativity of the simulated structure (None = the config geometry's
+    #: own ``ways``); folded into the result-cache key.
+    ways: int | None = None
+    #: Replacement policy of the simulated structure; part of the cache key.
+    policy: str = "lru"
 
     @property
     def name(self) -> str:
@@ -89,6 +112,8 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
         raise ValueError(f"unknown cell kind {kind!r}; known: {CELL_KINDS}")
     params: list[tuple] = []
     needs_profile = False
+    ways: int | None = None
+    policy = "lru"
     if kind == "indexing":
         if label == "Odd_Multiplier":
             params.append(("odd_multiplier", config.odd_multiplier))
@@ -105,12 +130,33 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
     elif kind == "colassoc":
         if label == "ColAssoc_Odd_Multiplier":
             params.append(("odd_multiplier", config.odd_multiplier))
+    elif kind in ("setassoc", "bounds"):
+        if label in _WAYS_LABELS:
+            ways = _WAYS_LABELS[label]
+        elif label == "FullAssoc":
+            ways = config.geometry.num_lines
+        elif kind == "setassoc":
+            raise ValueError(f"unknown set-associative cell label {label!r}")
+        elif label == "Skewed2":
+            params.append(("skew_ways", 2))
+        elif label == "Victim8":
+            params.append(("victim_lines", config.victim_lines))
+        elif label == "Adaptive":
+            params.append(("sht_fraction", config.sht_fraction))
+            params.append(("out_fraction", config.out_fraction))
+        elif label == "B_Cache":
+            params.append(("mapping_factor", config.bcache_mapping_factor))
+            params.append(("bas", config.bcache_bas))
+        elif label not in ("ColAssoc", "Belady"):
+            raise ValueError(f"unknown bounds cell label {label!r}")
     return SimCell(
         kind=kind,
         workload=workload,
         label=label,
         params=tuple(params),
         needs_profile=needs_profile,
+        ways=ways,
+        policy=policy,
     )
 
 
@@ -147,6 +193,49 @@ def _build_colassoc_index(cell: SimCell, config: PaperConfig):
     raise ValueError(f"unknown column-associative cell label {cell.label!r}")
 
 
+def _execute_bounds_cell(cell: SimCell, trace, config: PaperConfig) -> SimulationResult:
+    """One ``setassoc``/``bounds`` cell: fast path where exact, sequential else."""
+    g = config.geometry
+    if cell.label in _WAYS_LABELS:
+        gk = g.with_ways(_WAYS_LABELS[cell.label])
+        return simulate_set_associative(ModuloIndexing(gk), trace, gk)
+    if cell.label == "FullAssoc":
+        return simulate_fully_associative(trace, g)
+    # Stateful structures: only the sequential reference engine is exact.
+    from ...core.caches import (
+        AdaptiveGroupAssociativeCache,
+        BalancedCache,
+        BeladyCache,
+        SkewedAssociativeCache,
+        VictimCache,
+    )
+
+    if cell.label == "Skewed2":
+        return simulate(SkewedAssociativeCache(g, ways=2), trace)
+    if cell.label == "Victim8":
+        return simulate(VictimCache(g, victim_lines=config.victim_lines), trace)
+    if cell.label == "Adaptive":
+        return simulate(
+            AdaptiveGroupAssociativeCache(
+                g, sht_fraction=config.sht_fraction, out_fraction=config.out_fraction
+            ),
+            trace,
+        )
+    if cell.label == "B_Cache":
+        return simulate(
+            BalancedCache(
+                g, mapping_factor=config.bcache_mapping_factor, bas=config.bcache_bas
+            ),
+            trace,
+        )
+    if cell.label == "ColAssoc":
+        return simulate(ColumnAssociativeCache(g), trace)
+    if cell.label == "Belady":
+        blocks = trace.blocks(g.offset_bits).astype("int64")
+        return simulate(BeladyCache(g, blocks), trace)
+    raise ValueError(f"unknown bounds cell label {cell.label!r}")
+
+
 def execute_cell(cell: SimCell, config: PaperConfig) -> SimulationResult:
     """Run one cell from its spec alone (pure, deterministic).
 
@@ -159,9 +248,16 @@ def execute_cell(cell: SimCell, config: PaperConfig) -> SimulationResult:
     trace = workload_trace(cell.workload, config)
     g = config.geometry
     if cell.kind == "baseline":
+        if g.ways != 1:
+            return simulate_set_associative(ModuloIndexing(g), trace, g)
         return simulate_indexing(ModuloIndexing(g), trace, g)
     if cell.kind == "indexing":
-        return simulate_indexing(_build_indexing_scheme(cell, config), trace, g)
+        scheme = _build_indexing_scheme(cell, config)
+        if g.ways != 1:
+            return simulate_set_associative(scheme, trace, g)
+        return simulate_indexing(scheme, trace, g)
+    if cell.kind in ("setassoc", "bounds"):
+        return _execute_bounds_cell(cell, trace, config)
     if cell.kind == "progassoc":
         try:
             factory = progassoc_lineup(config)[cell.label]

@@ -141,6 +141,8 @@ def run_cells(
             config.geometry,
             trace_fp[cell.workload],
             profile_fp.get(cell.workload) if cell.needs_profile else None,
+            ways=cell.ways,
+            policy=cell.policy,
         )
         for cell in cells
     }

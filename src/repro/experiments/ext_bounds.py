@@ -20,22 +20,12 @@ capture".
 
 from __future__ import annotations
 
-from ..core.caches import (
-    AdaptiveGroupAssociativeCache,
-    BalancedCache,
-    BeladyCache,
-    ColumnAssociativeCache,
-    FullyAssociativeCache,
-    SetAssociativeCache,
-    SkewedAssociativeCache,
-    VictimCache,
-)
-from ..core.simulator import simulate
 from ..core.uniformity import percent_reduction
 from ..workloads.mibench import MIBENCH_ORDER
 from .config import PaperConfig
+from .engine import ExperimentEngine, make_cell
 from .report import ExperimentResult
-from .runner import baseline_result, register_experiment, workload_trace
+from .runner import register_experiment
 
 __all__ = ["run_ext_bounds"]
 
@@ -55,43 +45,31 @@ EXT_BOUNDS_COLUMNS = [
 
 @register_experiment("ext-bounds")
 def run_ext_bounds(config: PaperConfig) -> ExperimentResult:
-    g = config.geometry
     result = ExperimentResult(
         experiment_id="ext-bounds",
         title="% miss reduction vs DM: paper techniques against classical bounds",
         columns=EXT_BOUNDS_COLUMNS,
     )
+    # Every comparison point is one engine cell: the k-way LRU and
+    # fully-associative columns ride the vectorised stack-distance kernel,
+    # the stateful structures the sequential engine — all memoized in the
+    # on-disk result cache and fanned out over --jobs workers.
+    cells = []
     for bench in MIBENCH_ORDER:
-        trace = workload_trace(bench, config)
-        base = baseline_result(trace, config)
-        blocks = trace.blocks(g.offset_bits).astype("int64")
-        runs = {
-            "2way": lambda: simulate(SetAssociativeCache(g.with_ways(2)), trace),
-            "4way": lambda: simulate(SetAssociativeCache(g.with_ways(4)), trace),
-            "8way": lambda: simulate(SetAssociativeCache(g.with_ways(8)), trace),
-            "Skewed2": lambda: simulate(SkewedAssociativeCache(g, ways=2), trace),
-            "Victim8": lambda: simulate(VictimCache(g, victim_lines=config.victim_lines), trace),
-            "Adaptive": lambda: simulate(
-                AdaptiveGroupAssociativeCache(
-                    g, sht_fraction=config.sht_fraction, out_fraction=config.out_fraction
-                ),
-                trace,
-            ),
-            "B_Cache": lambda: simulate(
-                BalancedCache(
-                    g, mapping_factor=config.bcache_mapping_factor, bas=config.bcache_bas
-                ),
-                trace,
-            ),
-            "ColAssoc": lambda: simulate(ColumnAssociativeCache(g), trace),
-            "FullAssoc": lambda: simulate(FullyAssociativeCache(g), trace),
-            "Belady": lambda: simulate(BeladyCache(g, blocks), trace),
-        }
+        cells.append(make_cell("baseline", bench, "baseline", config))
+        cells.extend(
+            make_cell("bounds", bench, label, config) for label in EXT_BOUNDS_COLUMNS
+        )
+    sims, stats = ExperimentEngine(config).run(cells)
+    for bench in MIBENCH_ORDER:
+        base = sims[(bench, "baseline")]
         row = {
-            label: percent_reduction(run().misses, base.misses) for label, run in runs.items()
+            label: percent_reduction(sims[(bench, label)].misses, base.misses)
+            for label in EXT_BOUNDS_COLUMNS
         }
         result.add_row(bench, row)
     result.add_average_row()
     result.note("Belady is the clairvoyant optimum; FullAssoc the realisable LRU bound")
     result.note("Adaptive ~ selective victim caching (paper Section III.B remark)")
+    result.engine_stats = stats.as_dict()
     return result

@@ -14,6 +14,13 @@ Two models:
   primary placement, plus global SHT/OUT relocation exactly as in
   :class:`~repro.core.caches.adaptive.AdaptiveGroupAssociativeCache`
   (3-cycle OUT-hit path, Eq. 8 AMAT accounting).
+
+The static baseline is a direct-mapped array whose slot stream is a pure
+function of ``(thread, block)``, so :func:`simulate_partitioned` vectorises
+it through :func:`~repro.core.fastsim.direct_mapped_miss_flags`
+(``engine="auto"``; bit-identical to the sequential loop, which
+``engine="sequential"`` forces and the differential tests exercise).  The
+adaptive variant is stateful across threads and always runs sequentially.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import numpy as np
 from ..core.address import CacheGeometry, is_power_of_two
 from ..core.amat import TimingModel, amat_adaptive, amat_direct_mapped
 from ..core.caches.base import EMPTY, CacheStats
+from ..core.fastsim import direct_mapped_miss_flags, per_set_counts
 from ..trace.event import Trace
 
 __all__ = [
@@ -232,12 +240,74 @@ class PartitionedResult:
         return amat_direct_mapped(self.miss_rate, timing)
 
 
-def simulate_partitioned(cache: StaticPartitionedCache, trace: Trace) -> PartitionedResult:
+def _simulate_partitioned_fast(
+    cache: StaticPartitionedCache, trace: Trace
+) -> PartitionedResult:
+    """Vectorised path for a fresh hard-walled partitioned cache."""
+    threads = np.asarray(trace.thread).astype(np.int64)
+    n = trace.addresses.size
+    blocks = trace.blocks(cache._offset_bits).astype(np.int64)
+    # The partitioned primary index, computed for the whole trace at once.
+    slots = threads * cache.part_sets + (blocks & (cache.part_sets - 1))
+    miss = direct_mapped_miss_flags(blocks, slots)
+    hits = n - int(miss.sum())
+    misses = n - hits
+    thread_hits = np.bincount(threads[~miss], minlength=cache.num_threads).astype(
+        np.int64
+    )
+    thread_misses = np.bincount(threads[miss], minlength=cache.num_threads).astype(
+        np.int64
+    )
+    slot_accesses, slot_misses = per_set_counts(slots, miss, cache.geometry.num_sets)
+    # Mirror the sequential loop's side effects on the cache object.
+    stats = cache.stats
+    stats.accesses += n
+    stats.hits += hits
+    stats.misses += misses
+    if hits:
+        stats.bump("direct_hits", hits)
+    stats.slot_accesses += slot_accesses
+    stats.slot_hits += slot_accesses - slot_misses
+    stats.slot_misses += slot_misses
+    cache.thread_hits += thread_hits
+    cache.thread_misses += thread_misses
+    if n:
+        uniq, first_in_reversed = np.unique(slots[::-1], return_index=True)
+        cache._blocks[uniq] = blocks[n - 1 - first_in_reversed]
+    return PartitionedResult(
+        accesses=n,
+        hits=hits,
+        misses=misses,
+        direct_hits=hits,
+        lookup_cycles=n,
+        thread_misses=thread_misses,
+    )
+
+
+def simulate_partitioned(
+    cache: StaticPartitionedCache, trace: Trace, engine: str = "auto"
+) -> PartitionedResult:
+    """Drive a partitioned cache from an interleaved multi-thread trace.
+
+    ``engine="auto"`` (default) vectorises the hard-walled static baseline
+    (exact: a plain :class:`StaticPartitionedCache`, fresh state); the
+    adaptive subclass — stateful SHT/OUT tables spanning partitions — always
+    runs the sequential reference loop, which ``engine="sequential"`` forces
+    for every model.
+    """
+    if engine not in ("auto", "sequential"):
+        raise ValueError("engine must be 'auto' or 'sequential'")
     addresses = trace.addresses
     threads = trace.thread
     is_write = trace.is_write
     if len(trace) and int(threads.max()) >= cache.num_threads:
         raise ValueError("trace references a thread outside the partitioning")
+    if (
+        engine == "auto"
+        and type(cache) is StaticPartitionedCache
+        and cache.stats.accesses == 0
+    ):
+        return _simulate_partitioned_fast(cache, trace)
     cycles = 0
     for i in range(addresses.size):
         cycles += cache.access(int(addresses[i]), int(threads[i]), bool(is_write[i]))

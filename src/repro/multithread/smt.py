@@ -13,7 +13,15 @@ differently (threads have disjoint address spaces in our workloads, as
 separate processes under SMT do).
 
 :func:`simulate_smt` drives it from an interleaved multi-thread trace and
-reports global and per-thread miss statistics.
+reports global and per-thread miss statistics.  Because the structure is a
+direct-mapped array whose index stream is a pure per-thread function of the
+addresses, the whole simulation vectorises: ``engine="auto"`` (the default)
+computes the miss vector with
+:func:`~repro.core.fastsim.direct_mapped_miss_flags` over per-thread index
+arrays and recovers the cross-eviction count from the previous-access-to-
+the-same-slot relation — bit-identical to the sequential loop (locked down
+by the differential tests), including the final cache contents and stats.
+``engine="sequential"`` forces the reference loop.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 
 from ..core.address import CacheGeometry
 from ..core.caches.base import EMPTY, CacheStats
+from ..core.fastsim import direct_mapped_miss_flags, per_set_counts
 from ..core.selector import ThreadSchemeTable
 from ..trace.event import Trace
 
@@ -97,14 +106,104 @@ class SMTResult:
         return float(self.thread_misses[thread] / total) if total else 0.0
 
 
-def simulate_smt(cache: SMTSharedCache, trace: Trace) -> SMTResult:
-    """Drive a shared cache from an interleaved multi-thread trace."""
+def _previous_same_slot(slots: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = latest ``t < i`` touching the same slot, else ``-1``."""
+    n = slots.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(slots, kind="stable")
+    same = slots[order[1:]] == slots[order[:-1]]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _last_occupancy(slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per touched slot, the position of its final access (``(slots, pos)``)."""
+    n = slots.size
+    uniq, first_in_reversed = np.unique(slots[::-1], return_index=True)
+    return uniq, n - 1 - first_in_reversed
+
+
+def _simulate_smt_fast(cache: SMTSharedCache, trace: Trace) -> SMTResult:
+    """Vectorised path: requires a fresh (never-accessed) shared cache."""
+    addresses = trace.addresses
+    threads = np.asarray(trace.thread)
+    n = addresses.size
+    n_threads = len(cache.schemes)
+    blocks = trace.blocks(cache._offset_bits).astype(np.int64)
+    slots = np.zeros(n, dtype=np.int64)
+    for t, scheme in enumerate(cache.schemes.schemes):
+        mask = threads == t
+        if np.any(mask):
+            slots[mask] = np.asarray(scheme.indices_of(addresses[mask]), dtype=np.int64)
+    # The shared array stores full block identities, so hit/miss is exactly
+    # the direct-mapped recurrence over the interleaved (slot, block) stream.
+    miss = direct_mapped_miss_flags(blocks, slots)
+    # Owner of a slot before access i is the thread of the previous access to
+    # that slot (every access, hit or miss, takes ownership); a cross
+    # eviction is a miss on a previously-touched slot owned by another thread.
+    prev = _previous_same_slot(slots)
+    warm = prev >= 0
+    cross = miss & warm & (threads[np.maximum(prev, 0)] != threads)
+    hit = ~miss
+    thread_hits = np.bincount(threads[hit], minlength=n_threads).astype(np.int64)
+    thread_misses = np.bincount(threads[miss], minlength=n_threads).astype(np.int64)
+    slot_accesses, slot_misses = per_set_counts(slots, miss, cache.geometry.num_sets)
+    slot_hits = slot_accesses - slot_misses
+    hits = int(hit.sum())
+    misses = n - hits
+    cross_evictions = int(np.count_nonzero(cross))
+    # Leave the cache object exactly as the sequential loop would: counters,
+    # per-slot stats, ownership and final contents all match.
+    stats = cache.stats
+    stats.accesses += n
+    stats.hits += hits
+    stats.misses += misses
+    if hits:
+        stats.bump("direct_hits", hits)
+    stats.slot_accesses += slot_accesses
+    stats.slot_hits += slot_hits
+    stats.slot_misses += slot_misses
+    cache.thread_hits += thread_hits
+    cache.thread_misses += thread_misses
+    cache.cross_evictions += cross_evictions
+    touched, last_pos = _last_occupancy(slots)
+    cache._blocks[touched] = blocks[last_pos]
+    cache._owner[touched] = threads[last_pos]
+    return SMTResult(
+        accesses=n,
+        misses=misses,
+        thread_hits=thread_hits,
+        thread_misses=thread_misses,
+        cross_evictions=cross_evictions,
+        slot_accesses=slot_accesses,
+        slot_misses=slot_misses,
+    )
+
+
+def simulate_smt(cache: SMTSharedCache, trace: Trace, engine: str = "auto") -> SMTResult:
+    """Drive a shared cache from an interleaved multi-thread trace.
+
+    ``engine="auto"`` (default) uses the vectorised fast path whenever it is
+    exact — a plain :class:`SMTSharedCache` (not a subclass) starting from a
+    fresh state; ``engine="sequential"`` forces the one-access-at-a-time
+    reference loop (used by the differential tests).
+    """
+    if engine not in ("auto", "sequential"):
+        raise ValueError("engine must be 'auto' or 'sequential'")
     addresses = trace.addresses
     threads = trace.thread
     is_write = trace.is_write
     n_threads = len(cache.schemes)
     if len(trace) and int(threads.max()) >= n_threads:
         raise ValueError("trace references a thread with no indexing scheme")
+    if (
+        engine == "auto"
+        and type(cache) is SMTSharedCache
+        and cache.stats.accesses == 0
+    ):
+        return _simulate_smt_fast(cache, trace)
     for i in range(addresses.size):
         cache.access(int(addresses[i]), int(threads[i]), bool(is_write[i]))
     return SMTResult(

@@ -29,6 +29,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "miss_rate" in out
 
+    def test_sweep_kway(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo", "--ways", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4-way" in out and "miss_rate" in out
+
+    def test_sweep_rejects_non_lru_policy(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo", "--ways", "2",
+                     "--policy", "fifo"]) == 2
+        err = capsys.readouterr().err
+        assert "LRU" in err
+
     def test_trace_npz(self, tmp_path, capsys):
         out_file = tmp_path / "t.npz"
         assert main(["trace", "bitcount", "--refs", "2000", "--out", str(out_file)]) == 0
