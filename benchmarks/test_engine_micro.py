@@ -16,7 +16,19 @@ import time
 import pytest
 
 from repro.core.address import CacheGeometry, PAPER_L1_GEOMETRY
-from repro.core.caches import DirectMappedCache, SetAssociativeCache
+from repro.core.caches import (
+    BalancedCache,
+    ColumnAssociativeCache,
+    DirectMappedCache,
+    PartnerIndexCache,
+    SetAssociativeCache,
+)
+from repro.core.fastassoc import (
+    simulate_bcache,
+    simulate_column_associative,
+    simulate_partner,
+)
+from repro.core.simulator import simulate, simulate_indexing, simulate_set_associative
 from repro.core.indexing import (
     GivargisIndexing,
     ModuloIndexing,
@@ -24,7 +36,6 @@ from repro.core.indexing import (
     PrimeModuloIndexing,
     XorIndexing,
 )
-from repro.core.simulator import simulate, simulate_indexing, simulate_set_associative
 from repro.trace import zipf_trace
 
 G = PAPER_L1_GEOMETRY
@@ -105,3 +116,118 @@ def test_kway_sequential_engine_throughput(benchmark):
         return simulate(SetAssociativeCache(G4, policy="lru"), short)
 
     assert benchmark(run).accesses == 20_000
+
+
+# -- programmable-associativity fast paths (PR 3) ---------------------------------
+
+
+def _assert_progassoc_speedup(benchmark, make_cache, trace, floor: float) -> None:
+    """Extrapolated sequential-vs-fast comparison, as in the k-way canary."""
+    short = trace[:25_000]
+    t0 = time.perf_counter()
+    slow = simulate(make_cache(), short)
+    sequential_per_access = (time.perf_counter() - t0) / len(short)
+    assert slow.accesses == len(short)
+    fast_per_access = benchmark.stats.stats.min / len(trace)
+    speedup = sequential_per_access / fast_per_access
+    assert speedup >= floor, (
+        f"progassoc fast path only {speedup:.1f}x over sequential (floor {floor}x)"
+    )
+
+
+def test_colassoc_fast_engine_1m(benchmark):
+    """Pair-decomposed column-associative run over one million accesses.
+
+    The acceptance bar of the fastassoc PR: ≥ 5× over the sequential
+    reference (extrapolated from a 25k slice), bit-identity being locked by
+    ``tests/core/test_fastassoc_differential.py``.
+    """
+    result = benchmark.pedantic(
+        lambda: simulate_column_associative(ColumnAssociativeCache(G), TRACE_1M),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.accesses == len(TRACE_1M)
+    assert result.hits == result.extra.get("first_probe_hits", 0) + result.extra.get(
+        "rehash_hits", 0
+    )
+    _assert_progassoc_speedup(
+        benchmark, lambda: ColumnAssociativeCache(G), TRACE_1M, 5.0
+    )
+
+
+def test_bcache_fast_engine_1m(benchmark):
+    """Cluster-decomposed B-cache run over one million accesses (≥ 5×)."""
+    result = benchmark.pedantic(
+        lambda: simulate_bcache(BalancedCache(G), TRACE_1M),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.accesses == len(TRACE_1M)
+    assert result.lookup_cycles == len(TRACE_1M)  # single-cycle decode
+    _assert_progassoc_speedup(benchmark, lambda: BalancedCache(G), TRACE_1M, 5.0)
+
+
+def test_partner_fast_engine_1m(benchmark):
+    """Windowed partner-cache run over one million accesses."""
+    result = benchmark.pedantic(
+        lambda: simulate_partner(PartnerIndexCache(G), TRACE_1M),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.accesses == len(TRACE_1M)
+
+
+def test_colassoc_sequential_engine_throughput(benchmark):
+    """Sequential column-associative reference cost (speedup denominator)."""
+    short = TRACE_1M[:20_000]
+
+    def run():
+        return simulate(ColumnAssociativeCache(G), short)
+
+    assert benchmark(run).accesses == 20_000
+
+
+def test_bcache_sequential_engine_throughput(benchmark):
+    """Sequential B-cache reference cost (speedup denominator)."""
+    short = TRACE_1M[:20_000]
+
+    def run():
+        return simulate(BalancedCache(G), short)
+
+    assert benchmark(run).accesses == 20_000
+
+
+def test_parallel_engine_fanout_overhead(benchmark):
+    """Cost of one warm 4-cell engine pass at jobs=2.
+
+    Workers receive npz *paths*, so this measures pool + path-transfer
+    overhead, not trace pickling: the number should track process startup
+    and stay flat as ``ref_limit`` grows.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.config import PaperConfig
+    from repro.experiments.engine import make_cell, run_cells
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench_fanout_"))
+    config = PaperConfig(
+        ref_limit=50_000, trace_cache_dir=tmp, use_result_cache=False
+    )
+    cells = [
+        make_cell("progassoc", w, label, config)
+        for w in ("crc", "fft")
+        for label in ("B_Cache", "Column_associative")
+    ]
+    run_cells(cells, config, jobs=1)  # pre-warm the trace cache
+
+    def run():
+        return run_cells(cells, config, jobs=2)
+
+    results, stats = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert stats.cache_misses == len(cells)
+    assert len(results) == len(cells)

@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk per-cell result cache for this run",
     )
+    run.add_argument(
+        "--engine",
+        choices=("auto", "sequential"),
+        default=None,
+        help="simulation engine for cells with a vectorised fast path "
+        "(auto = set-decomposed kernels where exact; results are "
+        "bit-identical either way)",
+    )
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
     trace.add_argument("workload")
@@ -123,6 +131,8 @@ def _config_from(args) -> PaperConfig:
         updates["jobs"] = args.jobs
     if getattr(args, "no_result_cache", False):
         updates["use_result_cache"] = False
+    if getattr(args, "engine", None) is not None:
+        updates["engine"] = args.engine
     return replace(cfg, **updates) if updates else cfg
 
 

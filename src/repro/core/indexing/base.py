@@ -53,14 +53,21 @@ class IndexingScheme(ABC):
         """Set index for one address."""
 
     def indices_of(self, addresses: np.ndarray) -> np.ndarray:
-        """Vectorised mapping; default falls back to the scalar form."""
+        """Vectorised mapping; default falls back to the scalar form.
+
+        ``np.fromiter`` materialises the scalar map directly into a fresh
+        contiguous buffer — unlike writing through an ``out.ravel()`` view,
+        which silently drops every element when ``ravel`` has to copy
+        (e.g. for a non-contiguous input's shaped output).
+        """
         addresses = np.asarray(addresses, dtype=np.uint64)
-        out = np.empty(addresses.shape, dtype=np.int64)
-        flat = addresses.ravel()
-        out_flat = out.ravel()
-        for i, a in enumerate(flat):
-            out_flat[i] = self.index_of(int(a))
-        return out
+        index_of = self.index_of
+        out = np.fromiter(
+            (index_of(int(a)) for a in addresses.ravel()),
+            dtype=np.int64,
+            count=addresses.size,
+        )
+        return out.reshape(addresses.shape)
 
     # -- introspection ----------------------------------------------------------
 

@@ -65,6 +65,12 @@ class PaperConfig:
     # Victim-cache comparator.
     victim_lines: int = 8
 
+    #: Column-associative swap policy (Agarwal & Pudar): when ``True`` a
+    #: conventional-location block is never displaced into its rehash
+    #: position by an incoming rehash miss.  Changes outcomes, so it is
+    #: part of every result-cache key that simulates a colassoc cache.
+    protect_conventional: bool = True
+
     # Odd multipliers: the recommended set; SMT threads take them in order.
     odd_multiplier: int = 9
     smt_multipliers: tuple[int, ...] = (9, 31, 21, 61)
@@ -94,6 +100,11 @@ class PaperConfig:
     #: Result-cache root; ``None`` → ``<trace_cache_dir>/results`` so tests
     #: pointing the trace cache at a tmp dir stay hermetic automatically.
     result_cache_dir: Path | None = None
+    #: Simulation-engine selection for cells with a vectorised fast path:
+    #: ``"auto"`` picks the set-decomposed engines (fastsim/fastassoc) when
+    #: available, ``"sequential"`` forces the reference loop.  Results are
+    #: bit-identical either way, so this knob is *not* part of cache keys.
+    engine: str = "auto"
 
     @property
     def result_cache_path(self) -> Path:

@@ -17,13 +17,14 @@ order regardless of completion order.  The differential-test layer
 ``tests/experiments/test_parallel_engine.py``) enforces both properties.
 """
 
-from .cache import ENGINE_VERSION, ResultCache, trace_fingerprint
+from .cache import ENGINE_VERSION, ResultCache, cell_key, trace_fingerprint
 from .cells import CellExecutionError, SimCell, execute_cell, make_cell
 from .parallel import EngineStats, ExperimentEngine, effective_jobs, run_cells
 
 __all__ = [
     "ENGINE_VERSION",
     "ResultCache",
+    "cell_key",
     "trace_fingerprint",
     "SimCell",
     "make_cell",

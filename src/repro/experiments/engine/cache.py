@@ -38,7 +38,10 @@ __all__ = ["ENGINE_VERSION", "ResultCache", "trace_fingerprint", "cell_key"]
 
 #: Bump to invalidate every cached cell result (simulation semantics change).
 #: v2: k-way cells exist and keys carry the effective ways/policy pair.
-ENGINE_VERSION = 2
+#: v3: keys carry every outcome-changing model parameter (colassoc
+#: ``protect_conventional`` in particular) — older keys under-specified the
+#: column-associative cells, so they are all invalidated.
+ENGINE_VERSION = 3
 
 _ARRAY_FIELDS = ("slot_accesses", "slot_hits", "slot_misses")
 _SCALAR_FIELDS = ("accesses", "hits", "misses", "lookup_cycles")

@@ -18,18 +18,23 @@ Cell kinds
     on the profiling trace inside the worker (deterministic given seeds).
 ``progassoc``
     One Figure-6 programmable-associativity model (adaptive / B-cache /
-    column-associative), driven by the sequential reference engine.
+    column-associative).  B-cache and column-associative route through the
+    set-decomposed :mod:`repro.core.fastassoc` engine under
+    ``config.engine == "auto"``; the adaptive cache's SHT/OUT state is
+    global, so it always takes the sequential reference loop.
 ``colassoc``
     Figure-8 column-associative cache with a non-conventional primary
     index; label ``ColAssoc_Base`` is the conventionally-indexed baseline.
+    All variants take the pair-decomposed fastassoc engine under ``auto``.
 ``setassoc``
     One scheme × geometry × ways grid point: a k-way LRU cache simulated by
     the vectorised stack-distance kernel (labels ``2way``/``4way``/…, or
     ``FullAssoc`` for the single-set LRU bound).
 ``bounds``
     One ext-bounds comparison column.  Set-associative and fully-associative
-    labels route through the ``setassoc`` fast path; the stateful structures
-    (skewed, victim, adaptive, B-cache, column-associative, Belady) are
+    labels route through the ``setassoc`` fast path; B-cache and
+    column-associative take the fastassoc engine under ``auto``; the
+    remaining stateful structures (skewed, victim, adaptive, Belady) are
     driven by the sequential reference engine.
 """
 
@@ -39,6 +44,7 @@ import time
 from dataclasses import dataclass
 
 from ...core.caches import ColumnAssociativeCache
+from ...core.fastassoc import simulate_progassoc
 from ...core.indexing import (
     GivargisIndexing,
     GivargisXorIndexing,
@@ -127,9 +133,13 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
         elif label == "B_Cache":
             params.append(("mapping_factor", config.bcache_mapping_factor))
             params.append(("bas", config.bcache_bas))
+        elif label == "Column_associative":
+            params.append(("protect_conventional", config.protect_conventional))
     elif kind == "colassoc":
         if label == "ColAssoc_Odd_Multiplier":
             params.append(("odd_multiplier", config.odd_multiplier))
+        # The swap policy changes outcomes for every column-associative cell.
+        params.append(("protect_conventional", config.protect_conventional))
     elif kind in ("setassoc", "bounds"):
         if label in _WAYS_LABELS:
             ways = _WAYS_LABELS[label]
@@ -147,7 +157,9 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
         elif label == "B_Cache":
             params.append(("mapping_factor", config.bcache_mapping_factor))
             params.append(("bas", config.bcache_bas))
-        elif label not in ("ColAssoc", "Belady"):
+        elif label == "ColAssoc":
+            params.append(("protect_conventional", config.protect_conventional))
+        elif label != "Belady":
             raise ValueError(f"unknown bounds cell label {label!r}")
     return SimCell(
         kind=kind,
@@ -162,8 +174,29 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
 
 # -- execution (runs in the parent at jobs=1, in pool workers otherwise) ----------
 
+#: Per-process memo of npz-loaded traces, keyed by path.  Pool workers run
+#: many cells of the same workload back to back; loading the (content-
+#: addressed, read-only) npz once per process instead of once per cell is
+#: the point of shipping *paths* rather than pickled address arrays.
+_TRACE_MEMO: dict[str, object] = {}
+_TRACE_MEMO_MAX = 4
 
-def _build_indexing_scheme(cell: SimCell, config: PaperConfig):
+
+def _trace_at(path, name: str):
+    """Load (memoized) the trace stored at ``path``, renamed to ``name``."""
+    from ...trace.io import load_npz
+
+    key = str(path)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = load_npz(path)
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace.with_name(name)
+
+
+def _build_indexing_scheme(cell: SimCell, config: PaperConfig, profile_path=None):
     g = config.geometry
     if cell.label == "XOR":
         return XorIndexing(g)
@@ -172,9 +205,12 @@ def _build_indexing_scheme(cell: SimCell, config: PaperConfig):
     if cell.label == "Prime_Modulo":
         return PrimeModuloIndexing(g)
     if cell.label in _TRAINABLE_LABELS:
-        from ..runner import profile_trace
+        if profile_path is not None:
+            fit_addrs = _trace_at(profile_path, cell.workload).addresses
+        else:
+            from ..runner import profile_trace
 
-        fit_addrs = profile_trace(cell.workload, config).addresses
+            fit_addrs = profile_trace(cell.workload, config).addresses
         cls = GivargisIndexing if cell.label == "Givargis" else GivargisXorIndexing
         return cls(g).fit(fit_addrs)
     raise ValueError(f"unknown indexing-cell label {cell.label!r}")
@@ -215,44 +251,64 @@ def _execute_bounds_cell(cell: SimCell, trace, config: PaperConfig) -> Simulatio
     if cell.label == "Victim8":
         return simulate(VictimCache(g, victim_lines=config.victim_lines), trace)
     if cell.label == "Adaptive":
-        return simulate(
+        return simulate_progassoc(
             AdaptiveGroupAssociativeCache(
                 g, sht_fraction=config.sht_fraction, out_fraction=config.out_fraction
             ),
             trace,
+            engine=config.engine,
         )
     if cell.label == "B_Cache":
-        return simulate(
+        return simulate_progassoc(
             BalancedCache(
                 g, mapping_factor=config.bcache_mapping_factor, bas=config.bcache_bas
             ),
             trace,
+            engine=config.engine,
         )
     if cell.label == "ColAssoc":
-        return simulate(ColumnAssociativeCache(g), trace)
+        return simulate_progassoc(
+            ColumnAssociativeCache(
+                g, protect_conventional=config.protect_conventional
+            ),
+            trace,
+            engine=config.engine,
+        )
     if cell.label == "Belady":
         blocks = trace.blocks(g.offset_bits).astype("int64")
         return simulate(BeladyCache(g, blocks), trace)
     raise ValueError(f"unknown bounds cell label {cell.label!r}")
 
 
-def execute_cell(cell: SimCell, config: PaperConfig) -> SimulationResult:
+def execute_cell(
+    cell: SimCell,
+    config: PaperConfig,
+    trace_path=None,
+    profile_path=None,
+) -> SimulationResult:
     """Run one cell from its spec alone (pure, deterministic).
 
     The workload trace is materialised through the shared on-disk trace
     cache — the engine pre-warms it in the parent so worker processes only
-    ever read.
+    ever read.  When the engine passes the pre-warmed ``trace_path`` /
+    ``profile_path``, the worker opens those npz files directly (memoized
+    per process) instead of re-deriving the cache key; results are
+    bit-identical because ``workload_trace`` itself returns ``load_npz`` of
+    the very same file on a warm cache.
     """
     from ..runner import progassoc_lineup, workload_trace
 
-    trace = workload_trace(cell.workload, config)
+    if trace_path is not None:
+        trace = _trace_at(trace_path, cell.workload)
+    else:
+        trace = workload_trace(cell.workload, config)
     g = config.geometry
     if cell.kind == "baseline":
         if g.ways != 1:
             return simulate_set_associative(ModuloIndexing(g), trace, g)
         return simulate_indexing(ModuloIndexing(g), trace, g)
     if cell.kind == "indexing":
-        scheme = _build_indexing_scheme(cell, config)
+        scheme = _build_indexing_scheme(cell, config, profile_path)
         if g.ways != 1:
             return simulate_set_associative(scheme, trace, g)
         return simulate_indexing(scheme, trace, g)
@@ -263,20 +319,25 @@ def execute_cell(cell: SimCell, config: PaperConfig) -> SimulationResult:
             factory = progassoc_lineup(config)[cell.label]
         except KeyError:
             raise ValueError(f"unknown programmable-associativity label {cell.label!r}") from None
-        return simulate(factory(), trace)
+        return simulate_progassoc(factory(), trace, engine=config.engine)
     if cell.kind == "colassoc":
         indexing = _build_colassoc_index(cell, config)
-        cache = ColumnAssociativeCache(g) if indexing is None else ColumnAssociativeCache(
-            g, indexing=indexing
+        cache = ColumnAssociativeCache(
+            g,
+            indexing=indexing,
+            protect_conventional=config.protect_conventional,
         )
-        return simulate(cache, trace)
+        return simulate_progassoc(cache, trace, engine=config.engine)
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
 def timed_execute_cell(
-    cell: SimCell, config: PaperConfig
+    cell: SimCell,
+    config: PaperConfig,
+    trace_path=None,
+    profile_path=None,
 ) -> tuple[SimulationResult, float]:
     """``execute_cell`` plus wall-clock seconds (the pool-worker entry point)."""
     t0 = time.perf_counter()
-    result = execute_cell(cell, config)
+    result = execute_cell(cell, config, trace_path, profile_path)
     return result, time.perf_counter() - t0

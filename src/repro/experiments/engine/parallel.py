@@ -5,6 +5,8 @@ runners use) takes the declared cell list of one experiment grid and
 
 1. pre-warms the on-disk trace cache in the parent — workers only read, so
    there is no write race on trace files — and fingerprints each trace;
+   workers are handed the resulting npz *paths* (re-opened locally and
+   memoized per process), never pickled address arrays;
 2. answers as many cells as possible from the content-addressed
    :class:`~repro.experiments.engine.cache.ResultCache`;
 3. executes the remaining cells either in-process (``jobs=1``, the
@@ -93,28 +95,43 @@ class EngineStats:
 
 def _prefetch_fingerprints(
     cells: Sequence[SimCell], config: PaperConfig
-) -> tuple[dict[str, str], dict[str, str]]:
-    """Materialise every needed trace once, in the parent; return digests."""
-    from ..runner import profile_trace, workload_trace
+) -> tuple[dict[str, str], dict[str, str], dict[str, Any], dict[str, Any]]:
+    """Materialise every needed trace once, in the parent.
+
+    Returns content digests plus the on-disk npz paths.  Workers receive
+    the *paths* (a few bytes each) rather than pickled address arrays —
+    each worker process re-opens the content-addressed npz read-only, so
+    fan-out cost is independent of trace length.
+    """
+    from ..runner import (
+        profile_trace,
+        profile_trace_path,
+        workload_trace,
+        workload_trace_path,
+    )
 
     trace_fp: dict[str, str] = {}
     profile_fp: dict[str, str] = {}
+    trace_paths: dict[str, Any] = {}
+    profile_paths: dict[str, Any] = {}
     for cell in cells:
         try:
             if cell.workload not in trace_fp:
                 trace_fp[cell.workload] = trace_fingerprint(
                     workload_trace(cell.workload, config)
                 )
+                trace_paths[cell.workload] = workload_trace_path(cell.workload, config)
             if cell.needs_profile and cell.workload not in profile_fp:
                 profile_fp[cell.workload] = trace_fingerprint(
                     profile_trace(cell.workload, config)
                 )
+                profile_paths[cell.workload] = profile_trace_path(cell.workload, config)
         except Exception as exc:
             raise CellExecutionError(
                 f"experiment cell ({cell.workload}, {cell.label}) failed "
                 f"during trace prefetch: {exc}"
             ) from exc
-    return trace_fp, profile_fp
+    return trace_fp, profile_fp, trace_paths, profile_paths
 
 
 def run_cells(
@@ -132,7 +149,9 @@ def run_cells(
     if result_cache is None and config.use_result_cache:
         result_cache = ResultCache(config.result_cache_path)
 
-    trace_fp, profile_fp = _prefetch_fingerprints(cells, config)
+    trace_fp, profile_fp, trace_paths, profile_paths = _prefetch_fingerprints(
+        cells, config
+    )
     keys = {
         cell: cell_key(
             cell.kind,
@@ -162,7 +181,12 @@ def run_cells(
         if jobs <= 1 or len(pending) == 1:
             for cell in pending:
                 try:
-                    computed[cell] = timed_execute_cell(cell, config)
+                    computed[cell] = timed_execute_cell(
+                        cell,
+                        config,
+                        trace_paths.get(cell.workload),
+                        profile_paths.get(cell.workload) if cell.needs_profile else None,
+                    )
                 except Exception as exc:
                     raise CellExecutionError(
                         f"experiment cell ({cell.workload}, {cell.label}) failed: {exc}"
@@ -171,7 +195,13 @@ def run_cells(
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    cell: pool.submit(timed_execute_cell, cell, config)
+                    cell: pool.submit(
+                        timed_execute_cell,
+                        cell,
+                        config,
+                        trace_paths.get(cell.workload),
+                        profile_paths.get(cell.workload) if cell.needs_profile else None,
+                    )
                     for cell in pending
                 }
                 for cell, future in futures.items():

@@ -46,8 +46,10 @@ def _run_progassoc(config: PaperConfig) -> tuple[ExperimentResult, ExperimentRes
         columns=PROGASSOC_COLUMNS,
     )
     timing = config.timing
-    # Sequential programmable-associativity simulations dominate replay cost;
-    # each (benchmark, model) pair is one engine cell, memoized and parallel.
+    # Each (benchmark, model) pair is one engine cell, memoized and parallel;
+    # B-cache and column-associative cells take the set-decomposed fastassoc
+    # engine (core/fastassoc.py) under engine="auto", leaving only the
+    # globally-coupled adaptive cache on the sequential reference loop.
     cells = []
     for bench in MIBENCH_ORDER:
         cells.append(make_cell("baseline", bench, "baseline", config))

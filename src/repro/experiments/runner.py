@@ -10,6 +10,7 @@ geometry's paper defaults.
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable
 
 from ..core.address import CacheGeometry
@@ -41,6 +42,8 @@ __all__ = [
     "available_experiments",
     "EXPERIMENT_REGISTRY",
     "workload_trace",
+    "workload_trace_path",
+    "profile_trace_path",
     "indexing_lineup",
     "progassoc_lineup",
     "baseline_result",
@@ -122,6 +125,37 @@ def profile_trace(name: str, config: PaperConfig) -> Trace:
     return workload_trace(name, config, seed=config.seed + config.profile_seed_offset)
 
 
+def workload_trace_path(
+    name: str, config: PaperConfig, seed: int | None = None
+) -> Path:
+    """Npz path of the cached workload trace, materialising it if absent.
+
+    The parallel engine hands this path to pool workers instead of pickling
+    the full address arrays per cell; workers re-open the npz read-only
+    (bit-identical by construction — ``workload_trace`` itself returns
+    ``load_npz`` of the same file on every warm call).
+
+    Always warms through :func:`workload_trace` rather than a bare
+    existence check: ``TraceCache.get_or_create`` validates the entry and
+    regenerates corrupted/truncated files, so the returned path is
+    guaranteed to be a loadable npz.
+    """
+    seed = config.seed if seed is None else seed
+    cache = TraceCache(config.trace_cache_dir)
+    key = TraceCache.key_for(
+        name, seed=seed, limit=config.ref_limit, scale=config.workload_scale
+    )
+    workload_trace(name, config, seed=seed)
+    return cache.path_for(key)
+
+
+def profile_trace_path(name: str, config: PaperConfig) -> Path:
+    """Npz path of the cached profiling trace (see :func:`profile_trace`)."""
+    if config.profile_seed_offset == 0:
+        return workload_trace_path(name, config)
+    return workload_trace_path(name, config, seed=config.seed + config.profile_seed_offset)
+
+
 def indexing_lineup(
     geometry: CacheGeometry, trace: Trace, config: PaperConfig, train_trace: Trace | None = None
 ) -> dict[str, IndexingScheme]:
@@ -150,7 +184,9 @@ def progassoc_lineup(config: PaperConfig) -> dict[str, Callable[[], object]]:
         "B_Cache": lambda: BalancedCache(
             g, mapping_factor=config.bcache_mapping_factor, bas=config.bcache_bas
         ),
-        "Column_associative": lambda: ColumnAssociativeCache(g),
+        "Column_associative": lambda: ColumnAssociativeCache(
+            g, protect_conventional=config.protect_conventional
+        ),
     }
 
 

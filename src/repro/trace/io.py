@@ -14,6 +14,9 @@ Two formats:
 from __future__ import annotations
 
 import json
+import os
+import uuid
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -24,19 +27,37 @@ __all__ = ["save_npz", "load_npz", "save_din", "load_din", "TraceCache"]
 
 
 def save_npz(trace: Trace, path: str | Path) -> Path:
+    """Persist ``trace`` at ``path`` atomically.
+
+    The archive is written to a unique sibling temp file and moved into
+    place with :func:`os.replace`, so concurrent writers (e.g. two test
+    processes warming the same :class:`TraceCache` key, or the parallel
+    experiment engine racing a foreground run) can never leave a
+    truncated npz at the final path — readers see either the old file or
+    a complete new one.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        # np.savez appends .npz when absent; normalise up front so the
+        # atomic rename targets the real destination.
+        path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        addresses=trace.addresses,
-        is_write=trace.is_write,
-        thread=trace.thread,
-        meta=np.frombuffer(
-            json.dumps({"name": trace.name, **trace.meta}).encode(), dtype=np.uint8
-        ),
-    )
-    # np.savez appends .npz when absent; normalise the reported path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = path.with_name(f".{path.stem}.{uuid.uuid4().hex}.tmp.npz")
+    try:
+        np.savez_compressed(
+            tmp,
+            addresses=trace.addresses,
+            is_write=trace.is_write,
+            thread=trace.thread,
+            meta=np.frombuffer(
+                json.dumps({"name": trace.name, **trace.meta}).encode(), dtype=np.uint8
+            ),
+        )
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # savez failed mid-write; don't leak temp files
+            tmp.unlink()
+    return path
 
 
 def load_npz(path: str | Path) -> Trace:
@@ -95,6 +116,14 @@ class TraceCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
 
+    def path_for(self, key: str) -> Path:
+        """On-disk npz path for ``key`` (the file may not exist yet).
+
+        The parallel experiment engine ships this path — not the trace
+        arrays — to worker processes, which re-open the npz locally.
+        """
+        return self._path(key)
+
     @staticmethod
     def key_for(name: str, **params) -> str:
         parts = [name] + [f"{k}={params[k]}" for k in sorted(params)]
@@ -103,7 +132,12 @@ class TraceCache:
     def get_or_create(self, key: str, generator) -> Trace:
         path = self._path(key)
         if path.exists():
-            return load_npz(path)
+            try:
+                return load_npz(path)
+            except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError):
+                # Same discipline as the result cache: a corrupted or
+                # truncated entry is deleted and regenerated, never trusted.
+                path.unlink(missing_ok=True)
         trace = generator()
         save_npz(trace, path)
         return trace

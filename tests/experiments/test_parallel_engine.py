@@ -33,13 +33,19 @@ from repro.experiments.engine import (
     ENGINE_VERSION,
     ResultCache,
     SimCell,
+    cell_key,
     effective_jobs,
     make_cell,
     run_cells,
     trace_fingerprint,
 )
+from repro.experiments.engine.cells import execute_cell
 from repro.experiments.report import render_table
-from repro.experiments.runner import workload_trace
+from repro.experiments.runner import (
+    profile_trace_path,
+    workload_trace,
+    workload_trace_path,
+)
 
 REFS = 4000
 #: Cheap figures used for the jobs=1 ≡ jobs=4 equivalence checks.
@@ -239,6 +245,134 @@ class TestErrorPropagation:
     def test_unknown_cell_kind_rejected_eagerly(self, config):
         with pytest.raises(ValueError):
             make_cell("warp_drive", "crc", "baseline", config)
+
+
+class TestCacheKeyAudit:
+    """Every outcome-changing model parameter must reach the cache key."""
+
+    def _key(self, cell, config):
+        fp = trace_fingerprint(workload_trace(cell.workload, config))
+        return cell_key(
+            cell.kind,
+            cell.label,
+            cell.params,
+            config.geometry,
+            fp,
+            None,
+            ways=cell.ways,
+            policy=cell.policy,
+        )
+
+    def test_engine_version_is_three(self):
+        assert ENGINE_VERSION == 3
+
+    @pytest.mark.parametrize(
+        "kind,label",
+        [
+            ("progassoc", "Column_associative"),
+            ("colassoc", "ColAssoc_Base"),
+            ("colassoc", "ColAssoc_XOR"),
+            ("bounds", "ColAssoc"),
+        ],
+    )
+    def test_protect_conventional_distinguishes_keys(self, kind, label, config):
+        protected = make_cell(kind, "crc", label, config)
+        unprotected = make_cell(
+            kind, "crc", label, replace(config, protect_conventional=False)
+        )
+        assert ("protect_conventional", True) in protected.params
+        assert ("protect_conventional", False) in unprotected.params
+        assert self._key(protected, config) != self._key(unprotected, config)
+
+    def test_bcache_mapping_point_distinguishes_keys(self, config):
+        base = make_cell("progassoc", "crc", "B_Cache", config)
+        other = make_cell(
+            "progassoc", "crc", "B_Cache", replace(config, bcache_mapping_factor=4)
+        )
+        assert self._key(base, config) != self._key(other, config)
+        bas = make_cell("progassoc", "crc", "B_Cache", replace(config, bcache_bas=4))
+        assert self._key(base, config) != self._key(bas, config)
+
+    def test_indexing_scheme_params_distinguish_keys(self, config):
+        base = make_cell("colassoc", "crc", "ColAssoc_Odd_Multiplier", config)
+        other = make_cell(
+            "colassoc", "crc", "ColAssoc_Odd_Multiplier", replace(config, odd_multiplier=31)
+        )
+        assert self._key(base, config) != self._key(other, config)
+
+    def test_engine_choice_is_not_in_keys(self, config):
+        """auto and sequential are bit-identical, so they must share entries."""
+        auto = make_cell("progassoc", "crc", "Column_associative", config)
+        seq = make_cell(
+            "progassoc", "crc", "Column_associative", replace(config, engine="sequential")
+        )
+        assert auto.params == seq.params
+        assert self._key(auto, config) == self._key(seq, config)
+
+    def test_warm_cache_survives_engine_switch(self, config):
+        """A cache written by the fast engine must serve the sequential run."""
+        cells = [make_cell("progassoc", "crc", "B_Cache", config)]
+        cache = ResultCache(config.result_cache_path)
+        _, cold = run_cells(cells, config, jobs=1, result_cache=cache)
+        assert cold.cache_misses == 1
+        seq_cfg = replace(config, engine="sequential")
+        seq_cells = [make_cell("progassoc", "crc", "B_Cache", seq_cfg)]
+        res, warm = run_cells(seq_cells, seq_cfg, jobs=1, result_cache=cache)
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+
+
+class TestTracePathTransfer:
+    """Workers consume npz paths, not pickled address arrays."""
+
+    def test_workload_trace_path_materialises_and_roundtrips(self, config):
+        path = workload_trace_path("crc", config)
+        assert path.exists() and path.suffix == ".npz"
+        from repro.trace.io import load_npz
+
+        via_path = load_npz(path).with_name("crc")
+        via_cache = workload_trace("crc", config)
+        np.testing.assert_array_equal(via_path.addresses, via_cache.addresses)
+        assert via_path.name == via_cache.name
+
+    def test_profile_trace_path_differs_from_eval_trace(self, config):
+        assert profile_trace_path("crc", config) != workload_trace_path("crc", config)
+        zero = replace(config, profile_seed_offset=0)
+        assert profile_trace_path("crc", zero) == workload_trace_path("crc", zero)
+
+    def test_execute_cell_by_path_is_bit_identical(self, config):
+        for kind, label in [
+            ("baseline", "baseline"),
+            ("progassoc", "B_Cache"),
+            ("indexing", "Givargis"),
+        ]:
+            cell = make_cell(kind, "crc", label, config)
+            tpath = workload_trace_path("crc", config)
+            ppath = profile_trace_path("crc", config) if cell.needs_profile else None
+            by_path = execute_cell(cell, config, tpath, ppath)
+            by_spec = execute_cell(cell, config)
+            assert by_path.misses == by_spec.misses, (kind, label)
+            assert by_path.hits == by_spec.hits, (kind, label)
+            assert by_path.lookup_cycles == by_spec.lookup_cycles, (kind, label)
+            assert by_path.trace_name == by_spec.trace_name, (kind, label)
+            np.testing.assert_array_equal(by_path.slot_misses, by_spec.slot_misses)
+
+    def test_parallel_path_transfer_bit_identical(self, config, tmp_path):
+        cells = [
+            make_cell("progassoc", w, label, config)
+            for w in ("crc", "fft")
+            for label in ("B_Cache", "Column_associative")
+        ]
+        seq_cfg = replace(config, result_cache_dir=tmp_path / "rc_a")
+        par_cfg = replace(config, result_cache_dir=tmp_path / "rc_b")
+        seq, _ = run_cells(cells, seq_cfg, jobs=1)
+        par, _ = run_cells(cells, par_cfg, jobs=3)
+        assert list(seq) == list(par)
+        for key in seq:
+            assert seq[key].misses == par[key].misses, key
+            assert seq[key].extra == par[key].extra, key
+            np.testing.assert_array_equal(
+                seq[key].slot_accesses, par[key].slot_accesses
+            )
 
 
 class TestJobsResolution:

@@ -1,0 +1,108 @@
+"""Conformance: every registered scheme's ``indices_of`` ≡ ``index_of``.
+
+The base-class fallback used to write through an ``out.ravel()`` view —
+silent data loss whenever ``ravel`` copies.  It now materialises via
+``np.fromiter``; this suite locks the elementwise contract for **every**
+scheme in the registry (trainables post-``fit``), over contiguous,
+non-contiguous (strided) and multi-dimensional address arrays, so neither
+the base fallback nor any vectorised override can drift from the scalar
+definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.address import CacheGeometry
+from repro.core.indexing import (
+    IndexingScheme,
+    TrainableIndexingScheme,
+    available_schemes,
+    make_scheme,
+)
+
+GEOMETRY = CacheGeometry(capacity_bytes=2048, line_bytes=16, ways=1, address_bits=20)
+
+
+def _fitted_scheme(name: str, rng: np.random.Generator) -> IndexingScheme:
+    params = {}
+    if name == "bit_select":
+        params["positions"] = tuple(
+            range(GEOMETRY.offset_bits, GEOMETRY.offset_bits + GEOMETRY.index_bits)
+        )[::-1]
+    scheme = make_scheme(name, GEOMETRY, **params)
+    if isinstance(scheme, TrainableIndexingScheme):
+        fit_addrs = rng.integers(
+            0, 1 << GEOMETRY.address_bits, size=3000, dtype=np.uint64
+        )
+        scheme.fit(fit_addrs)
+    return scheme
+
+
+@pytest.mark.parametrize("name", available_schemes())
+def test_indices_of_matches_index_of_elementwise(name):
+    rng = np.random.default_rng(1234)
+    scheme = _fitted_scheme(name, rng)
+    addrs = rng.integers(0, 1 << GEOMETRY.address_bits, size=2000, dtype=np.uint64)
+    vec = scheme.indices_of(addrs)
+    ref = np.array([scheme.index_of(int(a)) for a in addrs], dtype=np.int64)
+    np.testing.assert_array_equal(vec, ref, err_msg=name)
+    assert vec.dtype == np.int64, name
+    assert int(vec.min(initial=0)) >= 0 and int(vec.max(initial=0)) < GEOMETRY.num_sets
+
+
+@pytest.mark.parametrize("name", available_schemes())
+def test_indices_of_handles_non_contiguous_and_nd_input(name):
+    rng = np.random.default_rng(99)
+    scheme = _fitted_scheme(name, rng)
+    addrs = rng.integers(0, 1 << GEOMETRY.address_bits, size=600, dtype=np.uint64)
+
+    strided = addrs[::3]  # non-contiguous view
+    np.testing.assert_array_equal(
+        scheme.indices_of(strided),
+        np.array([scheme.index_of(int(a)) for a in strided], dtype=np.int64),
+        err_msg=f"{name}/strided",
+    )
+
+    shaped = addrs[:120].reshape(4, 30)  # shape must be preserved
+    out = scheme.indices_of(shaped)
+    assert out.shape == shaped.shape, name
+    np.testing.assert_array_equal(
+        out.ravel(),
+        np.array([scheme.index_of(int(a)) for a in shaped.ravel()], dtype=np.int64),
+        err_msg=f"{name}/2d",
+    )
+
+
+@pytest.mark.parametrize("name", available_schemes())
+def test_indices_of_empty_input(name):
+    rng = np.random.default_rng(5)
+    scheme = _fitted_scheme(name, rng)
+    out = scheme.indices_of(np.empty(0, dtype=np.uint64))
+    assert out.shape == (0,) and out.dtype == np.int64
+
+
+def test_base_fallback_uses_scalar_map():
+    """A scheme with *only* ``index_of`` must still vectorise correctly."""
+
+    class OnlyScalar(IndexingScheme):
+        name = "only-scalar"
+
+        def index_of(self, address: int) -> int:
+            return (address >> GEOMETRY.offset_bits) % GEOMETRY.num_sets
+
+    scheme = OnlyScalar(GEOMETRY)
+    addrs = np.arange(0, 500 * GEOMETRY.line_bytes, GEOMETRY.line_bytes, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        scheme.indices_of(addrs),
+        np.array([scheme.index_of(int(a)) for a in addrs], dtype=np.int64),
+    )
+    # Strided + 2-D through the fallback specifically.
+    view = addrs[::7]
+    np.testing.assert_array_equal(
+        scheme.indices_of(view),
+        np.array([scheme.index_of(int(a)) for a in view], dtype=np.int64),
+    )
+    grid = addrs[:60].reshape(6, 10)
+    assert scheme.indices_of(grid).shape == (6, 10)

@@ -39,6 +39,12 @@ class TestNpz:
         back = load_npz(save_npz(t, tmp_path / "big.npz"))
         np.testing.assert_array_equal(back.addresses, t.addresses)
 
+    def test_atomic_write_leaves_no_temp_files(self, sample, tmp_path):
+        save_npz(sample, tmp_path / "t.npz")
+        save_npz(sample, tmp_path / "t.npz")  # overwrite is atomic too
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "t.npz"]
+        assert leftovers == []
+
 
 class TestDin:
     def test_round_trip(self, sample, tmp_path):
@@ -83,3 +89,24 @@ class TestTraceCache:
         cache.get_or_create("k", lambda: zipf_trace(10))
         cache.clear()
         assert list(tmp_path.glob("*.npz")) == []
+
+    def test_corrupt_entry_regenerated_not_trusted(self, tmp_path):
+        """A truncated npz (e.g. from a pre-atomic-write race) is healed."""
+        cache = TraceCache(tmp_path)
+        first = cache.get_or_create("k", lambda: zipf_trace(50, seed=3))
+        path = cache.path_for("k")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-2])  # chop the end-of-central-directory tail
+        calls = []
+
+        def regen():
+            calls.append(1)
+            return zipf_trace(50, seed=3)
+
+        healed = cache.get_or_create("k", regen)
+        assert calls == [1]
+        np.testing.assert_array_equal(healed.addresses, first.addresses)
+        # ... and the healed entry is a valid file again.
+        np.testing.assert_array_equal(
+            load_npz(path).addresses, first.addresses
+        )
