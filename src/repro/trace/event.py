@@ -136,13 +136,24 @@ class Trace:
 
 
 class TraceBuilder:
-    """Chunked appender used by the workload recorder."""
+    """Chunked appender used by the workload recorder.
+
+    Supports both the scalar hot path (``append``, one reference per call)
+    and the bulk-emission path (``extend``, thousands of references per
+    call, with either one shared write flag or a per-event flag array).
+    ``thread`` is a fill value applied once at :meth:`build` time — the
+    builder owns thread tagging so :func:`~repro.trace.recorder.record`
+    never has to copy-rebuild a finished trace just to stamp thread ids.
+    """
 
     CHUNK = 1 << 16
 
-    def __init__(self, name: str = "", meta: dict[str, Any] | None = None):
+    def __init__(
+        self, name: str = "", meta: dict[str, Any] | None = None, thread: int = 0
+    ):
         self.name = name
         self.meta = dict(meta or {})
+        self.thread = int(thread)
         self._chunks_addr: list[np.ndarray] = []
         self._chunks_write: list[np.ndarray] = []
         self._addr = np.empty(self.CHUNK, dtype=np.uint64)
@@ -158,12 +169,28 @@ class TraceBuilder:
         self._fill += 1
         self._total += 1
 
-    def extend(self, addresses: np.ndarray, is_write: bool = False) -> None:
-        """Bulk append (used by vectorised workload phases)."""
+    def extend(
+        self, addresses: np.ndarray, is_write: "np.ndarray | bool" = False
+    ) -> None:
+        """Bulk append (used by vectorised workload phases).
+
+        ``is_write`` may be a scalar flag (whole block is loads or stores)
+        or a boolean array of per-event flags aligned with ``addresses`` —
+        the representation interleaved load/store patterns need.
+        """
         self._flush_chunk()
         addresses = np.ascontiguousarray(addresses, dtype=np.uint64).ravel()
+        if np.ndim(is_write) == 0:
+            writes = np.full(addresses.size, bool(is_write), dtype=bool)
+        else:
+            writes = np.ascontiguousarray(is_write, dtype=bool).ravel()
+            if writes.size != addresses.size:
+                raise ValueError(
+                    f"per-event write flags ({writes.size}) must match "
+                    f"addresses ({addresses.size})"
+                )
         self._chunks_addr.append(addresses)
-        self._chunks_write.append(np.full(addresses.size, is_write, dtype=bool))
+        self._chunks_write.append(writes)
         self._total += addresses.size
 
     def _flush_chunk(self) -> None:
@@ -183,4 +210,9 @@ class TraceBuilder:
         else:
             addresses = np.empty(0, dtype=np.uint64)
             writes = np.empty(0, dtype=bool)
-        return Trace(addresses, writes, name=self.name, meta=self.meta)
+        thread = (
+            np.full(addresses.size, self.thread, dtype=np.int16)
+            if self.thread
+            else None
+        )
+        return Trace(addresses, writes, thread, name=self.name, meta=self.meta)

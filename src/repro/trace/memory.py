@@ -201,6 +201,11 @@ class AddressSpace:
         return len(self._frames)
 
     @property
+    def stack_ptr(self) -> int:
+        """Current top-of-stack address (next frame pushes below this)."""
+        return self._stack_ptr
+
+    @property
     def heap_used(self) -> int:
         return self._heap_ptr - (self.layout.heap_base + self._shift)
 

@@ -92,7 +92,19 @@ class Workload(ABC):
         ref_limit: int | None = DEFAULT_REF_LIMIT,
         scale: float = 1.0,
         thread: int = 0,
+        emission: str = "bulk",
     ) -> Trace:
+        """Generate the workload's trace.
+
+        ``emission`` selects the kernel's emission path: ``"bulk"`` (the
+        default) lets kernels use the vectorised emitters, ``"scalar"``
+        forces one-reference-per-call emission.  Both produce bit-identical
+        traces — the contract locked by ``tests/trace/test_golden_hashes.py``
+        — so the knob is deliberately *not* part of any trace-cache key; it
+        exists for differential tests and benchmark denominators.
+        """
+        if emission not in ("bulk", "scalar"):
+            raise ValueError(f"unknown emission mode {emission!r}")
         trace = record(
             lambda m: self.kernel(m, scale),
             name=self.name,
@@ -100,6 +112,7 @@ class Workload(ABC):
             ref_limit=ref_limit,
             thread=thread,
             meta={"suite": self.suite, "scale": scale},
+            bulk=emission == "bulk",
         )
         return trace
 

@@ -35,19 +35,39 @@ class JacobiWorkload(Workload):
         grid = m.rng.normal(0, 1, size=(n, n))
         grid[0, :] = grid[-1, :] = grid[:, 0] = grid[:, -1] = 0.0
         residuals = []
+        if m.bulk:
+            # Interior indices in the scalar loop's row-major order; the
+            # per-point emission unit is [centre, north, south, west, east
+            # loads, centre store] — one interleaved stream per sweep.
+            ii, jj = np.meshgrid(
+                np.arange(1, n - 1), np.arange(1, n - 1), indexing="ij"
+            )
+            centre = (ii * n + jj).ravel()
+            offsets = (centre, centre - n, centre + n, centre - 1, centre + 1)
         for sweep in range(sweeps):
             new = grid.copy()
-            for i in range(1, n - 1):
-                for j in range(1, n - 1):
-                    m.load_elem(src_arr, i * n + j)
-                    m.load_elem(src_arr, (i - 1) * n + j)
-                    m.load_elem(src_arr, (i + 1) * n + j)
-                    m.load_elem(src_arr, i * n + j - 1)
-                    m.load_elem(src_arr, i * n + j + 1)
-                    new[i, j] = 0.25 * (
-                        grid[i - 1, j] + grid[i + 1, j] + grid[i, j - 1] + grid[i, j + 1]
-                    )
-                    m.store_elem(dst_arr, i * n + j)
+            if m.bulk:
+                # Same per-element FP expression (and association order) as
+                # the scalar loop, so `new` is bitwise identical.
+                new[1:-1, 1:-1] = 0.25 * (
+                    grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+                )
+                m.interleaved_stream(
+                    *((src_arr.addrs(o), False) for o in offsets),
+                    (dst_arr.addrs(centre), True),
+                )
+            else:
+                for i in range(1, n - 1):
+                    for j in range(1, n - 1):
+                        m.load_elem(src_arr, i * n + j)
+                        m.load_elem(src_arr, (i - 1) * n + j)
+                        m.load_elem(src_arr, (i + 1) * n + j)
+                        m.load_elem(src_arr, i * n + j - 1)
+                        m.load_elem(src_arr, i * n + j + 1)
+                        new[i, j] = 0.25 * (
+                            grid[i - 1, j] + grid[i + 1, j] + grid[i, j - 1] + grid[i, j + 1]
+                        )
+                        m.store_elem(dst_arr, i * n + j)
             residuals.append(float(np.abs(new - grid).max()))
             grid = new
             src_arr, dst_arr = dst_arr, src_arr

@@ -36,11 +36,25 @@ class StreamWorkload(Workload):
         b = m.rng.normal(0, 1, size=n)
         c = m.rng.normal(0, 1, size=n)
         a = np.zeros(n)
-        for _ in range(passes):
-            for i in range(n):
-                m.load_elem(b_arr, i)
-                m.load_elem(c_arr, i)
-                a[i] = b[i] + q * c[i]
-                m.store_elem(a_arr, i)
+        if m.bulk:
+            # Bulk emission: the triad's R,R,W repeating unit over all three
+            # vectors, one interleaved stream per pass — bit-identical to
+            # the scalar loop below (same flattened event order, same cut).
+            idx = np.arange(n)
+            cols = (
+                (b_arr.addrs(idx), False),
+                (c_arr.addrs(idx), False),
+                (a_arr.addrs(idx), True),
+            )
+            a[:] = b + q * c  # same per-element FP expression as the loop
+            for _ in range(passes):
+                m.interleaved_stream(*cols)
+        else:
+            for _ in range(passes):
+                for i in range(n):
+                    m.load_elem(b_arr, i)
+                    m.load_elem(c_arr, i)
+                    a[i] = b[i] + q * c[i]
+                    m.store_elem(a_arr, i)
         m.builder.meta["checksum"] = float(a.sum())
         m.builder.meta["expected"] = float((b + q * c).sum())

@@ -32,11 +32,22 @@ class TransposeWorkload(Workload):
         b_arr = m.space.heap_array(8, n * n, "B")
         a = m.rng.normal(0, 1, size=(n, n))
         b = np.zeros((n, n))
-        for _ in range(reps):
-            for i in range(n):
-                for j in range(n):
-                    m.load_elem(a_arr, i * n + j)
-                    b[j, i] = a[i, j]
-                    m.store_elem(b_arr, j * n + i)
+        if m.bulk:
+            # The scalar loop visits A row-major (element ij = i*n+j) and
+            # writes B at (ij % n)*n + ij // n; one load/store pair per
+            # element, so one two-column interleave per repetition.
+            ij = np.arange(n * n)
+            loads = a_arr.addrs(ij)
+            stores = b_arr.addrs((ij % n) * n + ij // n)
+            b[:, :] = a.T  # same element copies as the scalar loop
+            for _ in range(reps):
+                m.interleaved_stream((loads, False), (stores, True))
+        else:
+            for _ in range(reps):
+                for i in range(n):
+                    for j in range(n):
+                        m.load_elem(a_arr, i * n + j)
+                        b[j, i] = a[i, j]
+                        m.store_elem(b_arr, j * n + i)
         m.builder.meta["is_transpose"] = bool(np.array_equal(b, a.T))
         m.builder.meta["n"] = n

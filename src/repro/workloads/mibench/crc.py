@@ -20,6 +20,8 @@ The CRC computed is the real IEEE 802.3 value (tested against
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...trace.recorder import Recorder
 from ..base import Workload, register_workload
 
@@ -56,20 +58,46 @@ class CRCWorkload(Workload):
         crc_slot = frame.local("crc", 4)
         crc = 0xFFFFFFFF
         m.store(crc_slot)
-        for chunk_start in range(0, file_bytes, _CHUNK):
-            # fread refill: the library writes the buffer word by word.
-            for w in range(0, _CHUNK, 8):
-                m.store(buf.addr(w))
-            chunk = data[chunk_start : chunk_start + _CHUNK]
-            # The running crc lives in a register inside the byte loop and
-            # is spilled once per chunk (as a compiler would emit it).
-            m.load(crc_slot)
-            for i in range(chunk.size):
-                m.load_elem(buf, i)
-                idx = (crc ^ int(chunk[i])) & 0xFF
-                m.load_elem(table, idx)
-                crc = (crc >> 8) ^ tbl[idx]
-            m.store(crc_slot)
+        if m.bulk:
+            # Per-chunk emission unit, identical to the scalar loop's order:
+            # [128 refill stores, crc spill-in load, (buf load, table load)
+            # per byte, crc spill-out store].  The table index sequence is
+            # data-dependent (crc recurrence), so it is computed in a tight
+            # Python loop over plain ints; everything else is vectorised.
+            refill = buf.addrs(np.arange(0, _CHUNK, 8))
+            spill = np.array([crc_slot], dtype=np.uint64)
+            for chunk_start in range(0, file_bytes, _CHUNK):
+                chunk = data[chunk_start : chunk_start + _CHUNK]
+                idxs = []
+                append = idxs.append
+                for byte in chunk.tolist():
+                    idx = (crc ^ byte) & 0xFF
+                    append(idx)
+                    crc = (crc >> 8) ^ tbl[idx]
+                size = chunk.size
+                body = np.empty(2 * size, dtype=np.uint64)
+                body[0::2] = buf.addrs(np.arange(size))
+                body[1::2] = table.addrs(np.asarray(idxs))
+                addresses = np.concatenate((refill, spill, body, spill))
+                flags = np.zeros(addresses.size, dtype=bool)
+                flags[: refill.size] = True
+                flags[-1] = True
+                m.pattern_stream(addresses, flags)
+        else:
+            for chunk_start in range(0, file_bytes, _CHUNK):
+                # fread refill: the library writes the buffer word by word.
+                for w in range(0, _CHUNK, 8):
+                    m.store(buf.addr(w))
+                chunk = data[chunk_start : chunk_start + _CHUNK]
+                # The running crc lives in a register inside the byte loop and
+                # is spilled once per chunk (as a compiler would emit it).
+                m.load(crc_slot)
+                for i in range(chunk.size):
+                    m.load_elem(buf, i)
+                    idx = (crc ^ int(chunk[i])) & 0xFF
+                    m.load_elem(table, idx)
+                    crc = (crc >> 8) ^ tbl[idx]
+                m.store(crc_slot)
         m.space.pop_frame()
         m.builder.meta["crc"] = crc ^ 0xFFFFFFFF
         m.builder.meta["file_bytes"] = file_bytes

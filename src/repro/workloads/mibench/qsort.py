@@ -10,9 +10,24 @@ by colliding the hot pointer array with the string heap (the paper's
 Figure 4 shows qsort hurt by every indexing scheme).
 
 The sort is real (verified against ``sorted()`` in the tests).
+
+Bulk emission
+-------------
+The comparison outcomes depend only on the *words* (Python data), never on
+anything the recorder observes, so the bulk path records the sort as a
+compact op list — partition headers, scan steps, swaps, four ints each —
+and renders the whole reference stream vectorised afterwards: per-scan
+``strcmp`` pair counts come from one first-difference matrix computation
+over all compared word pairs, and addresses/flags are assembled with
+``repeat``/``cumsum`` ragged indexing into a single ``pattern_stream``.
+The word list itself is produced by :func:`_words_fast`, which replays
+NumPy's bounded-integer draws from one raw block (verified bit-identical,
+with a fallback to the per-call reference loop).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ...trace.memory import Array
 from ...trace.recorder import Recorder
@@ -21,6 +36,61 @@ from ..base import Workload, register_workload
 __all__ = ["QsortWorkload"]
 
 _WORD_BYTES = 24  # MiBench small words are short; blobs padded like malloc
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: Op-list flush threshold (ints; 4 per op).  Large enough to amortise the
+#: vectorised assembly, small enough that tiny ``ref_limit`` runs stop early.
+_OPS_FLUSH = 1 << 15
+
+
+def _words_ref(rng: np.random.Generator, n: int) -> list[str]:
+    """The original per-call word generation (the reference)."""
+    return [
+        "".join(
+            _ALPHABET[int(c)]
+            for c in rng.integers(0, 26, size=int(rng.integers(3, 12)))
+        )
+        for _ in range(n)
+    ]
+
+
+def _words_fast(rng: np.random.Generator, n: int) -> list[str]:
+    """Bit-identical words from one raw draw block.
+
+    NumPy's ``Generator.integers`` with a sub-2³² range consumes the PCG64
+    stream as 32-bit halves (low half first) and maps each through Lemire's
+    multiply-shift, rejecting when the low 32 bits of ``half * range`` fall
+    below ``(2**32 - range) % range`` — probability ≈ 2⁻³⁰ per draw.  We
+    draw the whole block raw, apply the same map vectorised, and fall back
+    to :func:`_words_ref` (restoring the generator state) if any draw in
+    the block would have been rejected, so the result is exact by
+    construction, not just with high probability.  Locked by the golden
+    trace hashes and ``tests/workloads/test_qsort_words.py``.
+    """
+    state = rng.bit_generator.state
+    raw = rng.bit_generator.random_raw(6 * n + 8)
+    halves = np.empty(raw.size * 2, dtype=np.uint64)
+    halves[0::2] = raw & np.uint64(0xFFFFFFFF)
+    halves[1::2] = raw >> np.uint64(32)
+    m9 = halves * np.uint64(9)
+    m26 = halves * np.uint64(26)
+    if (
+        ((m9 & np.uint64(0xFFFFFFFF)) < np.uint64((2**32 - 9) % 9)).any()
+        or ((m26 & np.uint64(0xFFFFFFFF)) < np.uint64((2**32 - 26) % 26)).any()
+    ):
+        rng.bit_generator.state = state  # pragma: no cover - p < 1e-3 per run
+        return _words_ref(rng, n)  # pragma: no cover
+    lengths = (m9 >> np.uint64(32)).astype(np.int64) + 3
+    chars = ((m26 >> np.uint64(32)) + np.uint64(97)).astype(np.uint8)
+    out: list[str] = []
+    p = 0
+    for _ in range(n):
+        ln = int(lengths[p])
+        p += 1
+        out.append(chars[p : p + ln].tobytes().decode("latin-1"))
+        p += ln
+    return out
 
 
 @register_workload
@@ -34,14 +104,163 @@ class QsortWorkload(Workload):
         n = self.scaled(3000, scale, minimum=16)
         ptr_arr = m.space.heap_array(8, n, "pointers")
         blobs = [m.space.heap_array(1, _WORD_BYTES, f"str{i}") for i in range(n)]
-        alphabet = "abcdefghijklmnopqrstuvwxyz"
-        words = [
-            "".join(alphabet[int(c)] for c in m.rng.integers(0, 26, size=int(m.rng.integers(3, 12))))
-            for _ in range(n)
-        ]
+        words = _words_fast(m.rng, n) if m.bulk else _words_ref(m.rng, n)
         order = list(range(n))  # order[i] = which word ptr slot i points to
-        self._sort(m, ptr_arr, blobs, words, order, 0, n - 1)
+        if m.bulk:
+            self._sort_vec(m, ptr_arr, blobs, words, order, n)
+        else:
+            self._sort(m, ptr_arr, blobs, words, order, 0, n - 1)
         m.builder.meta["sorted_head"] = [words[order[i]] for i in range(min(n, 6))]
+
+    # -- bulk path ---------------------------------------------------------------
+
+    def _sort_vec(
+        self,
+        m: Recorder,
+        ptr_arr: Array,
+        blobs: list[Array],
+        words: list[str],
+        order: list[int],
+        n: int,
+    ) -> None:
+        # Every partition pushes its 64-byte frame at the same stack depth
+        # (the scalar code pops before recursing), so the two spill slots
+        # are constant addresses.
+        frame = m.space.push_frame(64)
+        lo_slot = frame.local("lo")
+        hi_slot = frame.local("hi")
+        m.space.pop_frame()
+        # Word matrix padded with NUL: rows compare exactly like C strings
+        # (words are ≤ 11 chars, so the scalar ``min(k, 23)`` clamp never
+        # engages and the k-th strcmp pair is simply ``blob_base + k``).
+        width = 12
+        w_mat = np.zeros((n, width), dtype=np.uint8)
+        for idx, w in enumerate(words):
+            w_mat[idx, : len(w)] = np.frombuffer(
+                w.encode("latin-1"), dtype=np.uint8
+            )
+        consts = (
+            m,
+            np.int64(ptr_arr.addr(0)),
+            lo_slot,
+            hi_slot,
+            w_mat,
+            np.array([len(w) for w in words], dtype=np.int64),
+            np.array([b.addr(0) for b in blobs], dtype=np.int64),
+        )
+        ops: list[int] = []
+        self._sort_ops(ops, consts, words, order, 0, n - 1)
+        self._emit_ops(ops, consts)
+
+    def _sort_ops(
+        self,
+        ops: list[int],
+        consts: tuple,
+        words: list[str],
+        order: list[int],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """The exact ``_sort`` control flow, recording ops instead of refs.
+
+        Comparison results use Python string ordering, which matches the
+        scalar ``_strcmp`` sign (C strcmp over NUL-terminated a–z strings);
+        the per-byte load pairs are reconstructed later from the op list.
+        """
+        while lo < hi:
+            mid = (lo + hi) // 2
+            ops += (0, mid, 0, 0)
+            pivot = order[mid]
+            wp = words[pivot]
+            i, j = lo, hi
+            while i <= j:
+                while True:
+                    val = order[i]
+                    ops += (1, i, val, pivot)
+                    if words[val] >= wp:
+                        break
+                    i += 1
+                while True:
+                    val = order[j]
+                    ops += (1, j, val, pivot)
+                    if words[val] <= wp:
+                        break
+                    j -= 1
+                if i <= j:
+                    ops += (2, i, j, 0)
+                    order[i], order[j] = order[j], order[i]
+                    i += 1
+                    j -= 1
+            if len(ops) >= _OPS_FLUSH:
+                self._emit_ops(ops, consts)
+            # Recurse into the smaller side; iterate on the larger.
+            if j - lo < hi - i:
+                if lo < j:
+                    self._sort_ops(ops, consts, words, order, lo, j)
+                lo = i
+            else:
+                if i < hi:
+                    self._sort_ops(ops, consts, words, order, i, hi)
+                hi = j
+
+    @staticmethod
+    def _emit_ops(ops: list[int], consts: tuple) -> None:
+        """Render an op list to its reference stream, vectorised.
+
+        Ops are 4-int records: ``(0, mid, -, -)`` partition header (store
+        lo, store hi, load ptr[mid]); ``(1, pos, val, piv)`` scan step
+        (load ptr[pos], then one (blob[val], blob[piv]) load pair per byte
+        up to and including the first difference); ``(2, i, j, -)`` swap
+        (load ptr[i], load ptr[j], store ptr[i], store ptr[j]).
+        """
+        if not ops:
+            return
+        m, ptr_base, lo_slot, hi_slot, w_mat, wlen, blob_base = consts
+        arr = np.array(ops, dtype=np.int64).reshape(-1, 4)
+        del ops[:]
+        typ, a, b, c = arr.T
+        n_ops = arr.shape[0]
+        is_s = typ == 1
+        counts = np.empty(n_ops, dtype=np.int64)
+        counts[typ == 0] = 3
+        counts[typ == 2] = 4
+        # First-difference positions for every compared pair, in one shot.
+        neq = w_mat[b[is_s]] != w_mat[c[is_s]]
+        d = np.where(neq.any(axis=1), neq.argmax(axis=1), wlen[b[is_s]])
+        counts[is_s] = 3 + 2 * d  # ptr load + (d+1) pairs
+        total = int(counts.sum())
+        ends = np.cumsum(counts)
+        op_of = np.repeat(np.arange(n_ops), counts)
+        e = np.arange(total, dtype=np.int64) - (ends - counts)[op_of]
+        t_rep = typ[op_of]
+        addr = np.empty(total, dtype=np.int64)
+        wr = np.zeros(total, dtype=bool)
+        # Partition headers.
+        mh = t_rep == 0
+        addr[mh & (e == 0)] = lo_slot
+        addr[mh & (e == 1)] = hi_slot
+        m2 = mh & (e == 2)
+        addr[m2] = ptr_base + 8 * a[op_of[m2]]
+        wr[mh & (e < 2)] = True
+        # Scan steps: the ptr load, then alternating (blob a, blob b) pairs.
+        ms = t_rep == 1
+        m0 = ms & (e == 0)
+        addr[m0] = ptr_base + 8 * a[op_of[m0]]
+        me = ms & (e > 0)
+        ke = e[me] - 1
+        ome = op_of[me]
+        addr[me] = (
+            np.where((ke & 1) == 0, blob_base[b[ome]], blob_base[c[ome]])
+            + (ke >> 1)
+        )
+        # Swaps: two loads then two stores, i before j.
+        mw = t_rep == 2
+        ow = op_of[mw]
+        addr[mw] = ptr_base + 8 * np.where((e[mw] & 1) == 0, a[ow], b[ow])
+        wr[mw & (e >= 2)] = True
+        m.pattern_stream(addr.astype(np.uint64), wr)
+
+    # -- scalar (reference) path ---------------------------------------------------
 
     def _strcmp(self, m: Recorder, blobs: list[Array], words: list[str], a: int, b: int) -> int:
         wa, wb = words[a], words[b]

@@ -12,6 +12,8 @@ a Bellman-Ford-based successive-shortest-paths reference.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...trace.recorder import Recorder
 from ..base import Workload, register_workload
 
@@ -49,20 +51,46 @@ class McfWorkload(Workload):
         for v in range(1, n_nodes):
             depth[v] = depth[parent[v]] + 1
 
+        if m.bulk:
+            # The pricing sweep's addresses never change between passes:
+            # per arc [cost, tail, head, tail-node pot, head-node pot] — a
+            # five-column interleave over the arena, precomputed once.
+            arc_idx = np.arange(n_arcs)
+            arc_base = arc_arr.addrs(arc_idx)
+            pricing_cols = tuple(
+                (col, False)
+                for col in (
+                    arc_base + np.uint64(_A_COST),
+                    arc_base + np.uint64(_A_TAIL),
+                    arc_base + np.uint64(_A_HEAD),
+                    node_arr.addrs(tails) + np.uint64(_N_POT),
+                    node_arr.addrs(heads) + np.uint64(_N_POT),
+                )
+            )
+
         entering = 0
         for p in range(passes):
             # Arc pricing: stream arcs, dereference endpoint nodes.
-            best_red, best_arc = 0, -1
-            for a in range(n_arcs):
-                m.load(arc_arr.field_addr(a, _A_COST))
-                m.load(arc_arr.field_addr(a, _A_TAIL))
-                m.load(arc_arr.field_addr(a, _A_HEAD))
-                t, h = int(tails[a]), int(heads[a])
-                m.load(node_arr.field_addr(t, _N_POT))
-                m.load(node_arr.field_addr(h, _N_POT))
-                reduced = int(costs[a]) - potential[t] + potential[h]
-                if reduced < best_red:
-                    best_red, best_arc = reduced, a
+            if m.bulk:
+                m.interleaved_stream(*pricing_cols)
+                # The scalar strict-< update keeps the *first* occurrence of
+                # the global minimum, and only when it is negative — exactly
+                # np.argmin gated on min() < 0.
+                reduced_all = costs - potential[tails] + potential[heads]
+                best_red = int(reduced_all.min())
+                best_arc = int(reduced_all.argmin()) if best_red < 0 else -1
+            else:
+                best_red, best_arc = 0, -1
+                for a in range(n_arcs):
+                    m.load(arc_arr.field_addr(a, _A_COST))
+                    m.load(arc_arr.field_addr(a, _A_TAIL))
+                    m.load(arc_arr.field_addr(a, _A_HEAD))
+                    t, h = int(tails[a]), int(heads[a])
+                    m.load(node_arr.field_addr(t, _N_POT))
+                    m.load(node_arr.field_addr(h, _N_POT))
+                    reduced = int(costs[a]) - potential[t] + potential[h]
+                    if reduced < best_red:
+                        best_red, best_arc = reduced, a
             if best_arc < 0:
                 break
             entering += 1

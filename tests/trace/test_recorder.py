@@ -26,11 +26,22 @@ class TestRecorder:
         assert t.addresses.tolist() == [arr.addr(2), arr.addr(1) + 4]
 
     def test_ref_limit_raises(self):
-        m = Recorder("t", ref_limit=3)
+        # Scalar mode raises promptly at the limit event.
+        m = Recorder("t", ref_limit=3, bulk=False)
         m.load(1)
         m.load(2)
         with pytest.raises(TraceComplete):
             m.load(3)
+
+    def test_ref_limit_bulk_deferred(self):
+        # Bulk mode defers scalar verbs; the cut is applied at flush time
+        # and the built trace is bounded identically.
+        m = Recorder("t", ref_limit=3)
+        for a in range(5):
+            m.load(a)
+        t = m.build()
+        assert len(t) == 3
+        assert t.addresses.tolist() == [0, 1, 2]
 
     def test_stream_respects_limit(self):
         m = Recorder("t", ref_limit=5)
@@ -79,9 +90,8 @@ class TestRecordFunction:
 class TestStdio:
     def test_printf_emits_references(self):
         m = Recorder("t")
-        before = len(m.builder)
         m.printf(32)
-        assert len(m.builder) > before
+        assert len(m.build()) > 0
 
     def test_buffer_flush_on_wrap(self):
         m = Recorder("t")
