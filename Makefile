@@ -6,7 +6,7 @@ REFS ?= 120000
 # 1 = deterministic sequential fallback.  Output is bit-identical either way.
 JOBS ?= 0
 
-.PHONY: install test test-fast bench bench-check replay examples clean-traces clean-results all
+.PHONY: install test test-fast bench bench-check warm-traces replay examples clean-traces clean-results all
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,11 @@ bench-check:
 	$(PY) -m pytest benchmarks/test_engine_micro.py --benchmark-only \
 	  --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json
+
+# Prefetch every trace the experiment suite needs, in parallel, before a
+# replay — turns the cold-start cost into one concurrent generation pass.
+warm-traces:
+	PYTHONPATH=src $(PY) -m repro.cli trace warm --refs $(REFS) --jobs $(JOBS)
 
 replay:
 	$(PY) examples/replay_paper.py --refs $(REFS) --jobs $(JOBS) --out results_full.md

@@ -7,6 +7,7 @@
                          [--jobs J] [--no-result-cache]
     repro-cache run all --out EXPERIMENTS.md --jobs 0   # 0 = all cores
     repro-cache trace fft --refs 100000 --out fft.npz [--format din]
+    repro-cache trace warm --jobs 0 [--experiments fig4,fig13]   # prefetch cache
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
     repro-cache sweep --workload fft --ways 4        # k-way LRU fast path
     repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
@@ -72,13 +73,36 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
 
-    trace = sub.add_parser("trace", help="generate and save a workload trace")
-    trace.add_argument("workload")
-    trace.add_argument("--refs", type=int, default=100_000)
-    trace.add_argument("--seed", type=int, default=2011)
-    trace.add_argument("--scale", type=float, default=1.0)
-    trace.add_argument("--out", type=Path, required=True)
+    trace = sub.add_parser(
+        "trace",
+        help="generate and save a workload trace, or 'trace warm' to prefetch "
+        "the experiment trace cache in parallel",
+    )
+    trace.add_argument(
+        "workload",
+        help="workload name, or the literal 'warm' to prefetch every trace "
+        "the selected experiments will need",
+    )
+    trace.add_argument(
+        "--refs", type=int, default=None, help="trace length (warm: config ref limit)"
+    )
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--scale", type=float, default=None)
+    trace.add_argument(
+        "--out", type=Path, default=None, help="output path (required unless warming)"
+    )
     trace.add_argument("--format", choices=("npz", "din"), default="npz")
+    trace.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="warm: worker processes (1 = sequential, 0/default = all cores)",
+    )
+    trace.add_argument(
+        "--experiments",
+        default="all",
+        help="warm: comma-separated experiment ids to prefetch for (default all)",
+    )
 
     sweep = sub.add_parser("sweep", help="miss rates of schemes over one workload")
     sweep.add_argument("--workload", required=True)
@@ -161,14 +185,53 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.workload == "warm":
+        return _cmd_trace_warm(args)
+    if args.out is None:
+        print("error: --out is required when generating a trace", file=sys.stderr)
+        return 2
     trace = get_workload(args.workload).generate(
-        seed=args.seed, ref_limit=args.refs, scale=args.scale
+        seed=2011 if args.seed is None else args.seed,
+        ref_limit=100_000 if args.refs is None else args.refs,
+        scale=1.0 if args.scale is None else args.scale,
     )
     if args.format == "npz":
         path = save_npz(trace, args.out)
     else:
         path = save_din(trace, args.out)
     print(f"wrote {len(trace)} references to {path}")
+    return 0
+
+
+def _cmd_trace_warm(args) -> int:
+    """Prefetch the trace cache for a set of experiments, in parallel."""
+    import time
+
+    from .experiments.warm import specs_for, warm_traces
+
+    cfg = _config_from(args)
+    if args.experiments.strip() in ("", "all"):
+        ids = available_experiments()
+    else:
+        ids = [eid.strip() for eid in args.experiments.split(",") if eid.strip()]
+        unknown = sorted(set(ids) - set(available_experiments()))
+        if unknown:
+            print(f"error: unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    specs = specs_for(ids, cfg)
+    if not specs:
+        print("nothing to warm: no selected experiment declares trace needs")
+        return 0
+    t0 = time.perf_counter()
+    entries = warm_traces(specs, cfg, jobs=args.jobs)
+    wall = time.perf_counter() - t0
+    generated = sum(1 for e in entries.values() if e.generated)
+    gen_seconds = sum(e.seconds for e in entries.values() if e.generated)
+    print(
+        f"warmed {len(entries)} trace(s) for {len(ids)} experiment(s) in {wall:.1f}s "
+        f"({generated} generated [{gen_seconds:.1f}s worker-time], "
+        f"{len(entries) - generated} already cached) -> {cfg.trace_cache_dir}"
+    )
     return 0
 
 

@@ -3,10 +3,12 @@
 ``run_cells`` (or the thin :class:`ExperimentEngine` wrapper the figure
 runners use) takes the declared cell list of one experiment grid and
 
-1. pre-warms the on-disk trace cache in the parent — workers only read, so
-   there is no write race on trace files — and fingerprints each trace;
-   workers are handed the resulting npz *paths* (re-opened locally and
-   memoized per process), never pickled address arrays;
+1. pre-warms the on-disk trace cache *in parallel* through
+   :func:`repro.experiments.warm.warm_traces` — every missing workload and
+   profiling trace is generated concurrently on the same worker budget, and
+   content fingerprints are computed inside the workers; the parent never
+   loads a trace, and cell workers are handed npz *paths* (re-opened
+   locally and memoized per process), never pickled address arrays;
 2. answers as many cells as possible from the content-addressed
    :class:`~repro.experiments.engine.cache.ResultCache`;
 3. executes the remaining cells either in-process (``jobs=1``, the
@@ -36,7 +38,7 @@ from typing import Any, Iterable, Sequence
 
 from ...core.simulator import SimulationResult
 from ..config import PaperConfig
-from .cache import ResultCache, cell_key, trace_fingerprint
+from .cache import ResultCache, cell_key
 from .cells import CellExecutionError, SimCell, timed_execute_cell
 
 __all__ = ["EngineStats", "ExperimentEngine", "effective_jobs", "run_cells"]
@@ -93,44 +95,50 @@ class EngineStats:
         )
 
 
-def _prefetch_fingerprints(
-    cells: Sequence[SimCell], config: PaperConfig
+def _warm_and_fingerprint(
+    cells: Sequence[SimCell], config: PaperConfig, jobs: int
 ) -> tuple[dict[str, str], dict[str, str], dict[str, Any], dict[str, Any]]:
-    """Materialise every needed trace once, in the parent.
+    """Materialise every needed trace concurrently and fingerprint it.
 
-    Returns content digests plus the on-disk npz paths.  Workers receive
-    the *paths* (a few bytes each) rather than pickled address arrays —
-    each worker process re-opens the content-addressed npz read-only, so
-    fan-out cost is independent of trace length.
+    The needed-trace set (evaluation traces plus profiling runs for
+    trainable-scheme cells) is warmed through
+    :func:`repro.experiments.warm.warm_traces` on the engine's worker
+    budget; fingerprints are computed in the workers, so the parent's cost
+    is independent of trace length.  Workers later receive the on-disk npz
+    *paths* (a few bytes each) rather than pickled address arrays.
     """
-    from ..runner import (
-        profile_trace,
-        profile_trace_path,
-        workload_trace,
-        workload_trace_path,
-    )
+    from ..warm import TraceWarmError, profile_spec, warm_traces, workload_spec
 
-    trace_fp: dict[str, str] = {}
-    profile_fp: dict[str, str] = {}
-    trace_paths: dict[str, Any] = {}
-    profile_paths: dict[str, Any] = {}
+    eval_specs = {}
+    prof_specs = {}
     for cell in cells:
-        try:
-            if cell.workload not in trace_fp:
-                trace_fp[cell.workload] = trace_fingerprint(
-                    workload_trace(cell.workload, config)
-                )
-                trace_paths[cell.workload] = workload_trace_path(cell.workload, config)
-            if cell.needs_profile and cell.workload not in profile_fp:
-                profile_fp[cell.workload] = trace_fingerprint(
-                    profile_trace(cell.workload, config)
-                )
-                profile_paths[cell.workload] = profile_trace_path(cell.workload, config)
-        except Exception as exc:
-            raise CellExecutionError(
-                f"experiment cell ({cell.workload}, {cell.label}) failed "
-                f"during trace prefetch: {exc}"
-            ) from exc
+        if cell.workload not in eval_specs:
+            eval_specs[cell.workload] = workload_spec(cell.workload, config)
+        if cell.needs_profile and cell.workload not in prof_specs:
+            prof_specs[cell.workload] = profile_spec(cell.workload, config)
+    try:
+        entries = warm_traces(
+            list(eval_specs.values()) + list(prof_specs.values()),
+            config,
+            jobs=jobs,
+            fingerprints=True,
+        )
+    except TraceWarmError as exc:
+        owner = next((c for c in cells if c.workload == exc.spec.name), None)
+        where = (
+            f"experiment cell ({owner.workload}, {owner.label})"
+            if owner is not None
+            else f"workload {exc.spec.name!r}"
+        )
+        raise CellExecutionError(
+            f"{where} failed during trace prefetch: {exc.__cause__}"
+        ) from exc
+    trace_fp = {w: entries[s].fingerprint for w, s in eval_specs.items()}
+    trace_paths: dict[str, Any] = {w: entries[s].path for w, s in eval_specs.items()}
+    profile_fp = {w: entries[s].fingerprint for w, s in prof_specs.items()}
+    profile_paths: dict[str, Any] = {
+        w: entries[s].path for w, s in prof_specs.items()
+    }
     return trace_fp, profile_fp, trace_paths, profile_paths
 
 
@@ -149,8 +157,8 @@ def run_cells(
     if result_cache is None and config.use_result_cache:
         result_cache = ResultCache(config.result_cache_path)
 
-    trace_fp, profile_fp, trace_paths, profile_paths = _prefetch_fingerprints(
-        cells, config
+    trace_fp, profile_fp, trace_paths, profile_paths = _warm_and_fingerprint(
+        cells, config, jobs
     )
     keys = {
         cell: cell_key(

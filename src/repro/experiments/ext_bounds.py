@@ -73,3 +73,11 @@ def run_ext_bounds(config: PaperConfig) -> ExperimentResult:
     result.note("Adaptive ~ selective victim caching (paper Section III.B remark)")
     result.engine_stats = stats.as_dict()
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-bounds")
+def ext_bounds_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER]

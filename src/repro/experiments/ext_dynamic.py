@@ -76,3 +76,12 @@ def run_ext_dynamic(config: PaperConfig) -> ExperimentResult:
         "any off-line profiling, and beats every fixed wrong choice"
     )
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-dynamic")
+def ext_dynamic_traces(config: PaperConfig):
+    names = dict.fromkeys(n for pair in PHASE_PAIRS for n in pair)
+    return [workload_spec(n, config) for n in names]

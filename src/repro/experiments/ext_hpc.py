@@ -82,3 +82,13 @@ def run_ext_hpc(config: PaperConfig) -> ExperimentResult:
     result.note("stream/transpose/jacobi: the power-of-2 pathologies hashing fixes")
     result.note("histogram/spmv: random scatter — placement-insensitive controls")
     return result
+
+
+from .warm import profile_spec, provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-hpc")
+def ext_hpc_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in HPC_ORDER] + [
+        profile_spec(b, config) for b in HPC_ORDER
+    ]

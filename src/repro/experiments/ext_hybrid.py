@@ -71,3 +71,11 @@ def run_ext_hybrid(config: PaperConfig) -> ExperimentResult:
     result.add_average_row()
     result.note("generalises the paper's Figure 8 beyond the column-associative cache")
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-hybrid")
+def ext_hybrid_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER]

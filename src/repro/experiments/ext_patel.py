@@ -65,3 +65,13 @@ def run_ext_patel(config: PaperConfig) -> ExperimentResult:
     result.note("Patel_train minimises the exact objective it is scored on")
     result.note("the paper skipped Patel as intractable; this is the bounded variant")
     return result
+
+
+from .warm import profile_spec, provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-patel")
+def ext_patel_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in PATEL_BENCHES] + [
+        profile_spec(b, config) for b in PATEL_BENCHES
+    ]

@@ -45,3 +45,11 @@ def run_ext_three_c(config: PaperConfig) -> ExperimentResult:
         result.arrays[bench] = breakdown
     result.note("high conflict% predicts responsiveness to the paper's techniques")
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("ext-3c")
+def ext_three_c_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER + SPEC_ORDER]

@@ -52,3 +52,11 @@ def run_fig01(config: PaperConfig) -> ExperimentResult:
     result.note("per-set access profile: " + sparkline(accesses))
     result.engine_stats = stats.as_dict()
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("fig1")
+def fig01_traces(config: PaperConfig):
+    return [workload_spec("fft", config)]

@@ -64,3 +64,15 @@ def _run_fig04(config: PaperConfig) -> ExperimentResult:
     result.note("paper shape: mixed signs, no universal winner, Givargis worst average")
     result.engine_stats = stats.as_dict()
     return result
+
+
+from .warm import profile_spec, provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("fig4")
+def fig04_traces(config: PaperConfig):
+    # The Givargis schemes are fitted on the profiling run, so warming
+    # covers both the evaluation and the training trace of every bench.
+    return [workload_spec(b, config) for b in MIBENCH_ORDER] + [
+        profile_spec(b, config) for b in MIBENCH_ORDER
+    ]

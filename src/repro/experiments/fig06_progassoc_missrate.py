@@ -107,3 +107,16 @@ def run_fig06(config: PaperConfig) -> ExperimentResult:
 @register_experiment("fig7")
 def run_fig07(config: PaperConfig) -> ExperimentResult:
     return _cached(config)[1]
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("fig6")
+def fig06_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER]
+
+
+@provides_traces("fig7")
+def fig07_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER]

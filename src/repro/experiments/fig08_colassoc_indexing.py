@@ -51,3 +51,11 @@ def run_fig08(config: PaperConfig) -> ExperimentResult:
     result.note("paper shape: odd-multiplier best on average; some benchmarks regress")
     result.engine_stats = stats.as_dict()
     return result
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+@provides_traces("fig8")
+def fig08_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in SPEC_ORDER]

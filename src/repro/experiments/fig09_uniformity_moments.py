@@ -80,3 +80,14 @@ def run_fig12(config: PaperConfig) -> ExperimentResult:
     res = _moment_result(src, PROGASSOC_COLUMNS, "fig12", "skewness", skewness)
     res.note("paper shape: programmable associativity reduces skewness (negative bars)")
     return res
+
+
+from .warm import provides_traces, workload_spec  # noqa: E402
+
+
+def _moment_traces(config: PaperConfig):
+    return [workload_spec(b, config) for b in MIBENCH_ORDER]
+
+
+for _eid in ("fig9", "fig10", "fig11", "fig12"):
+    provides_traces(_eid)(_moment_traces)

@@ -30,33 +30,18 @@ def mixed_trace(mix: tuple[str, ...], config: PaperConfig):
 
     Each thread's workload runs in its own address-space slice (the
     interleaver re-tags threads by list position; the per-thread offset
-    comes from regenerating with ``thread=i``).
+    comes from regenerating with ``thread=i``).  Specs and cache keys come
+    from :func:`repro.experiments.warm.mix_specs`, the same plan the
+    parallel prefetch warms — so a warmed cache is a guaranteed hit here.
     """
-    from ..workloads import get_workload
     from ..trace.io import TraceCache
+    from .warm import mix_specs
 
     cache = TraceCache(config.trace_cache_dir)
-    per_thread_limit = max(1, config.ref_limit // len(mix))
-    traces = []
-    for i, name in enumerate(mix):
-        key = TraceCache.key_for(
-            name,
-            seed=config.seed + i,
-            limit=per_thread_limit,
-            scale=config.workload_scale,
-            thread=i,
-        )
-        traces.append(
-            cache.get_or_create(
-                key,
-                lambda name=name, i=i: get_workload(name).generate(
-                    seed=config.seed + i,
-                    ref_limit=per_thread_limit,
-                    scale=config.workload_scale,
-                    thread=i,
-                ),
-            ).with_name(name)
-        )
+    traces = [
+        cache.get_or_create(spec.cache_key(), spec.generate).with_name(spec.name)
+        for spec in mix_specs(mix, config)
+    ]
     return round_robin(traces, name=mix_label(mix))
 
 
@@ -88,3 +73,11 @@ def run_fig13(config: PaperConfig) -> ExperimentResult:
     result.note("paper shape: significant reductions on every mix")
     result.note("baseline = both threads conventional modulo indexing, shared L1D")
     return result
+
+
+from .warm import mix_specs, provides_traces  # noqa: E402
+
+
+@provides_traces("fig13")
+def fig13_traces(config: PaperConfig):
+    return [s for mix in MULTITHREAD_MIXES_FIG13 for s in mix_specs(mix, config)]

@@ -52,3 +52,12 @@ def run_fig14(config: PaperConfig) -> ExperimentResult:
     result.note("paper shape: AMAT improves for every mix, up to ~60%")
     result.note("AMAT: static = 1 + mr*penalty; adaptive = Eq. (8)")
     return result
+
+
+from .config import MULTITHREAD_MIXES_FIG14 as _MIXES14  # noqa: E402
+from .warm import mix_specs, provides_traces  # noqa: E402
+
+
+@provides_traces("fig14")
+def fig14_traces(config):
+    return [s for mix in _MIXES14 for s in mix_specs(mix, config)]

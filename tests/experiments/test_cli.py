@@ -56,6 +56,26 @@ class TestCommands:
                      "--format", "din"]) == 0
         assert out_file.read_text().count("\n") >= 500
 
+    def test_trace_requires_out(self, capsys):
+        assert main(["trace", "bitcount", "--refs", "500"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_trace_warm(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # trace cache lands in tmp
+        argv = ["trace", "warm", "--refs", "1500", "--scale", "0.05",
+                "--experiments", "fig1", "--jobs", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 generated" in out and "0 already cached" in out
+        assert (tmp_path / ".trace_cache").exists()
+        # Second run: everything is a cache hit.
+        assert main(argv) == 0
+        assert "0 generated" in capsys.readouterr().out
+
+    def test_trace_warm_rejects_unknown_experiment(self, capsys):
+        assert main(["trace", "warm", "--experiments", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
     def test_run_experiment(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)  # trace cache lands in tmp
         md = tmp_path / "out.md"
