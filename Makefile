@@ -25,11 +25,13 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only \
 	  --benchmark-json=BENCH_$$(git rev-parse --short HEAD).json
 
-# Replay only the engine micro-benchmarks and gate them against the
-# committed BENCH_*.json baseline (>25% slowdown on any canary fails).
+# Replay the regression canaries (engine micro-benchmarks + trace
+# generation) and gate them against the committed BENCH_*.json baseline
+# (>25% slowdown on any canary fails).  The trace-gen file also enforces
+# machine-independent bulk-vs-scalar speedup floors in-test.
 bench-check:
-	$(PY) -m pytest benchmarks/test_engine_micro.py --benchmark-only \
-	  --benchmark-json=bench-candidate.json
+	$(PY) -m pytest benchmarks/test_engine_micro.py benchmarks/test_trace_gen.py \
+	  --benchmark-only --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json
 
 # Prefetch every trace the experiment suite needs, in parallel, before a
