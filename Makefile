@@ -6,7 +6,7 @@ REFS ?= 120000
 # 1 = deterministic sequential fallback.  Output is bit-identical either way.
 JOBS ?= 0
 
-.PHONY: install test test-fast bench bench-check warm-traces replay examples clean-traces clean-results all
+.PHONY: install test test-fast bench bench-check serve-smoke warm-traces replay examples clean-traces clean-results all
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,8 +31,15 @@ bench:
 # machine-independent bulk-vs-scalar speedup floors in-test.
 bench-check:
 	$(PY) -m pytest benchmarks/test_engine_micro.py benchmarks/test_trace_gen.py \
+	  benchmarks/test_service_bench.py \
 	  --benchmark-only --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json
+
+# Boot a real `repro-cache serve` daemon as a subprocess and exercise the
+# serving contract end to end: warm-cache resubmission, single-flight
+# coalescing, overloaded backpressure, stats, clean shutdown.
+serve-smoke:
+	PYTHONPATH=src $(PY) scripts/serve_smoke.py
 
 # Prefetch every trace the experiment suite needs, in parallel, before a
 # replay — turns the cold-start cost into one concurrent generation pass.

@@ -1,0 +1,123 @@
+"""Job-server serving-throughput canaries.
+
+Measures the *serving* overhead of :mod:`repro.service` — protocol
+round-trip, scheduler admission, single-flight bookkeeping and result
+fan-out — against a warm result cache, so simulation time is out of the
+picture and a regression here means the serving layer itself got slower.
+
+Two shapes, mirroring the serving disciplines:
+
+* ``uncoalesced``: one client, sequential identical requests — every
+  request runs the full admission + flight + cache-probe path alone;
+* ``coalesced``: a 16-thread burst of identical requests — concurrent
+  submissions share flights, so this additionally prices the fan-out.
+
+Both report requests/second via pytest-benchmark's ``extra_info``.  Like
+every canary, they are gated by ``benchmarks/check_regression.py`` once a
+committed ``BENCH_*.json`` baseline contains them (new canaries never
+fail the gate on their own).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import PaperConfig
+from repro.service import ReproServer, ServiceClient
+
+#: Tiny simulation: the canaries measure serving, not simulating.
+SERVICE_REFS = 6000
+BURST = 16
+SEQUENTIAL = 32
+
+
+@pytest.fixture(scope="module")
+def service_server(tmp_path_factory):
+    """One warm thread-mode daemon for the whole module."""
+    root = tmp_path_factory.mktemp("service_bench")
+    config = replace(
+        PaperConfig(),
+        ref_limit=SERVICE_REFS,
+        workload_scale=0.1,
+        jobs=1,
+        trace_cache_dir=root / "traces",
+    )
+    server = ReproServer(config, port=0, workers=4, use_processes=False)
+    started = threading.Event()
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-bench-server", daemon=True)
+    thread.start()
+    assert started.wait(60)
+    # Warm the result cache so every measured request is serving overhead.
+    with ServiceClient("127.0.0.1", server.port) as client:
+        client.submit_cell("indexing", "fft", "XOR")
+    yield server
+    try:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.shutdown()
+    except OSError:
+        pass
+    thread.join(30)
+
+
+def test_service_uncoalesced_throughput(benchmark, service_server):
+    """Sequential identical requests on one connection (cache-hit path)."""
+
+    def run() -> int:
+        with ServiceClient("127.0.0.1", service_server.port) as client:
+            hits = 0
+            for _ in range(SEQUENTIAL):
+                reply = client.submit_cell("indexing", "fft", "XOR")
+                hits += bool(reply["meta"]["cache_hit"])
+        return hits
+
+    hits = benchmark(run)
+    assert hits == SEQUENTIAL  # warm cache: pure serving overhead
+    benchmark.extra_info["requests_per_round"] = SEQUENTIAL
+    benchmark.extra_info["requests_per_second"] = round(
+        SEQUENTIAL / benchmark.stats.stats.min, 1
+    )
+
+
+def test_service_coalesced_burst_throughput(benchmark, service_server):
+    """A 16-thread burst of identical requests (flight sharing + fan-out)."""
+    pool = ThreadPoolExecutor(max_workers=BURST)
+
+    def one(_i: int) -> bool:
+        with ServiceClient("127.0.0.1", service_server.port) as client:
+            return bool(client.submit_cell("indexing", "fft", "XOR")["result"])
+
+    def run() -> int:
+        return sum(pool.map(one, range(BURST)))
+
+    try:
+        ok = benchmark(run)
+    finally:
+        pool.shutdown(wait=True)
+    assert ok == BURST
+    # The whole module ran against one warm cell: nothing was ever
+    # simulated twice (the exactly-once serving property, priced here).
+    assert service_server.stats.cells_executed <= 1
+    benchmark.extra_info["requests_per_round"] = BURST
+    benchmark.extra_info["requests_per_second"] = round(
+        BURST / benchmark.stats.stats.min, 1
+    )

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Drive the simulation job server programmatically.
+
+Spins up an in-process ``repro.service`` daemon (thread-mode — the same
+server ``repro-cache serve`` runs, minus the worker processes), then
+demonstrates the client-side serving model:
+
+1. submit one engine cell and read the meta (key, cache_hit, seconds);
+2. resubmit it — the answer now comes from the content-addressed cache;
+3. fan 8 concurrent identical submissions from 8 threads at the daemon —
+   single-flight coalescing simulates the cell exactly once;
+4. sweep several schemes with streamed per-cell progress events;
+5. read the stats surface (coalescing/cache counters, latency histogram)
+   and shut the daemon down cleanly.
+
+Against a daemon you started yourself (``repro-cache serve --port 7411``)
+skip the embedded server and just point ``ServiceClient`` at its port.
+
+Run:  python examples/service_client.py [workload] [refs]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.experiments.config import PaperConfig
+from repro.service import ReproServer, ServiceClient
+
+
+def start_embedded_server(config: PaperConfig) -> tuple[ReproServer, threading.Thread]:
+    """A thread-mode daemon on an ephemeral port, for self-contained demos."""
+    server = ReproServer(config, port=0, workers=2, use_processes=False)
+    started = threading.Event()
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(30):
+        raise RuntimeError("embedded server failed to start")
+    return server, thread
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    config = replace(PaperConfig(), ref_limit=refs, workload_scale=0.25, jobs=1)
+    server, thread = start_embedded_server(config)
+    print(f"job server listening on 127.0.0.1:{server.port}\n")
+
+    # 1. One cell, straight answer + serving metadata.
+    with ServiceClient("127.0.0.1", server.port) as client:
+        health = client.health()
+        print(f"health: version {health['version']}, protocol {health['protocol']}")
+        reply = client.submit_cell("indexing", workload, "XOR")
+        result, meta = reply["result"], reply["meta"]
+        print(
+            f"{meta['cell']}: miss rate {result['miss_rate']:.4f} "
+            f"(cache_hit={meta['cache_hit']}, {meta['seconds'] * 1e3:.1f} ms, "
+            f"key {meta['key'][:12]}…)"
+        )
+
+        # 2. Identical resubmission: answered from the result cache.
+        again = client.submit_cell("indexing", workload, "XOR")["meta"]
+        print(f"resubmitted: cache_hit={again['cache_hit']}\n")
+
+    # 3. Concurrency: 8 clients, 8 threads, one identical cell each.
+    #    Single-flight coalescing plus the cache mean it is simulated once.
+    def one_submission(_i: int) -> bool:
+        with ServiceClient("127.0.0.1", server.port) as c:
+            return c.submit_cell("indexing", workload, "Prime_Modulo")["meta"][
+                "coalesced"
+            ]
+
+    executed_before = server.stats.cells_executed
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        coalesced = list(pool.map(one_submission, range(8)))
+    executed = server.stats.cells_executed - executed_before
+    print(
+        f"8 concurrent identical submissions: {sum(coalesced)} coalesced, "
+        f"{executed} simulation(s)"
+    )
+
+    # 4. A sweep with streamed progress events.
+    def on_event(frame: dict) -> None:
+        print(f"  [{frame['done']}/{frame['total']}] {frame['cell']}")
+
+    with ServiceClient("127.0.0.1", server.port) as client:
+        print(f"\nsweeping {workload}:")
+        sweep = client.sweep(
+            workload,
+            ["baseline", "XOR", "Odd_Multiplier", "Prime_Modulo"],
+            on_event=on_event,
+        )
+        for row in sweep["rows"]:
+            print(f"  {row['label']:<16} miss rate {row['result']['miss_rate']:.4f}")
+
+        # 5. Observability, then a clean shutdown.
+        stats = client.stats()
+        cells = stats["cells"]
+        print(
+            f"\nstats: {cells['submitted']} submitted, "
+            f"{cells['coalesced']} coalesced, {cells['cache_hits']} cache hits, "
+            f"{cells['executed']} simulated "
+            f"(hit ratio {cells['cache_hit_ratio']:.2f})"
+        )
+        latency = stats["latency"]["cell"]
+        print(
+            f"cell latency: p50 {latency['p50_seconds'] * 1e3:.1f} ms, "
+            f"p99 {latency['p99_seconds'] * 1e3:.1f} ms over {latency['count']} requests"
+        )
+        client.shutdown()
+
+    thread.join(30)
+    print("server stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the simulation job server, as CI runs it.
+
+Boots a *real* ``repro-cache serve`` daemon as a subprocess (thread pool,
+ephemeral port, caches in a temp directory) and exercises the serving
+contract over TCP:
+
+1.  ``health`` answers with the package version and protocol 1;
+2.  ``fig1`` submitted twice — the first run simulates, the second is
+    answered entirely from the result cache (zero cell simulations);
+3.  a duplicate-label sweep coalesces the duplicates onto one flight;
+4.  the same cell twice — the resubmission is a cache hit;
+5.  an oversized burst against ``--max-pending`` is rejected with
+    structured, retriable ``overloaded`` errors (and the retry succeeds);
+6.  ``stats`` shows the counters that prove all of the above;
+7.  ``shutdown`` stops the daemon cleanly (exit code 0).
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.service import ServiceClient, ServiceOverloaded  # noqa: E402
+
+MAX_PENDING = 2
+STARTUP_TIMEOUT = 120.0
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve-smoke FAILED: {message}")
+    print(f"  ok: {message}")
+
+
+def start_daemon(workdir: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"), PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--jobs",
+            "2",
+            "--threads",
+            "--max-pending",
+            str(MAX_PENDING),
+            "--refs",
+            "6000",
+            "--scale",
+            "0.1",
+        ],
+        cwd=workdir,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    # Watchdog: never let a wedged daemon hang the smoke forever.
+    watchdog = threading.Timer(STARTUP_TIMEOUT, proc.kill)
+    watchdog.daemon = True
+    watchdog.start()
+    try:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+    finally:
+        watchdog.cancel()
+    match = re.search(r"listening on [\d.]+:(\d+)", line)
+    if match is None:
+        proc.kill()
+        raise SystemExit(f"serve-smoke FAILED: unexpected startup line {line!r}")
+    print(f"daemon up: {line.strip()}")
+    return proc, int(match.group(1))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_") as tmp:
+        proc, port = start_daemon(Path(tmp))
+        # Drain daemon stdout in the background so it can never block on a
+        # full pipe while we talk to it over TCP.
+        drain = threading.Thread(
+            target=lambda: proc.stdout.read(), daemon=True  # type: ignore[union-attr]
+        )
+        drain.start()
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=300.0) as client:
+                # 1. health
+                health = client.health()
+                check(health["status"] == "ok", "health answers ok")
+                check(
+                    health["version"] == repro.__version__,
+                    f"health reports version {repro.__version__}",
+                )
+                check(health["protocol"] == 1, "health reports protocol 1")
+
+                # 2. fig1 twice: cold then all-cache-hit
+                first = client.run_experiment("fig1")["experiment"]
+                check(
+                    first["engine_stats"]["cache_misses"] > 0,
+                    "first fig1 actually simulated",
+                )
+                second = client.run_experiment("fig1")["experiment"]
+                check(
+                    second["engine_stats"]["cache_misses"] == 0,
+                    "second fig1 is answered entirely from the result cache",
+                )
+                check(second["rows"] == first["rows"], "fig1 reruns bit-identical")
+
+                # 3. duplicate-label sweep coalesces
+                sweep = client.sweep("fft", ["XOR", "XOR"])
+                flags = [row["coalesced"] for row in sweep["rows"]]
+                check(flags == [False, True], "duplicate sweep labels coalesce")
+                check(
+                    sweep["rows"][0]["result"] == sweep["rows"][1]["result"],
+                    "coalesced rows fan out one result",
+                )
+
+                # 4. identical cell resubmission hits the cache
+                meta = client.submit_cell("indexing", "crc", "Prime_Modulo")["meta"]
+                again = client.submit_cell("indexing", "crc", "Prime_Modulo")["meta"]
+                check(again["cache_hit"] is True, "cell resubmission is a cache hit")
+                check(again["key"] == meta["key"], "resubmission derives the same key")
+
+                # 5. burst beyond --max-pending -> structured overloaded rows
+                burst = client.sweep(
+                    "sha", ["baseline", "XOR", "Odd_Multiplier", "Prime_Modulo"]
+                )
+                codes = [
+                    row["error"]["code"]
+                    for row in burst["rows"]
+                    if not row["ok"]
+                ]
+                check(
+                    codes and set(codes) == {"overloaded"},
+                    f"oversized burst rejected with overloaded ({len(codes)} rows)",
+                )
+                check(
+                    sum(1 for row in burst["rows"] if row["ok"]) >= 1,
+                    "admitted burst rows still completed (fail-soft)",
+                )
+                # ... and the rejection is retriable once the queue drains.
+                for row in burst["rows"]:
+                    if not row["ok"]:
+                        retried = client.sweep("sha", [row["label"]])
+                        check(
+                            retried["rows"][0]["ok"],
+                            f"rejected label {row['label']} succeeds on retry",
+                        )
+
+                # 6. stats counters prove the serving disciplines fired
+                stats = client.stats()
+                cells = stats["cells"]
+                check(cells["coalesced"] >= 1, "stats counted coalesced submissions")
+                check(cells["cache_hits"] >= 1, "stats counted cache hits")
+                check(cells["rejected"] >= 1, "stats counted overloaded rejections")
+                check(cells["executed"] >= 1, "stats counted real simulations")
+                check(stats["queue_depth"] == 0, "queue drained")
+                check(
+                    stats["latency"]["cell"]["count"] >= 2,
+                    "latency histogram populated",
+                )
+
+                # 7. clean shutdown
+                check(client.shutdown() is True, "shutdown acknowledged")
+
+            code = proc.wait(timeout=60)
+            check(code == 0, f"daemon exited cleanly (code {code})")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+    print("serve-smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
     repro-cache sweep --workload fft --ways 4        # k-way LRU fast path
     repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
+    repro-cache serve --port 7411 --jobs 4         # simulation job server
+    repro-cache submit fig4 --refs 8000            # submit to a running server
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from . import __version__
 from .core.address import PAPER_L1_GEOMETRY
 from .core.indexing import TrainableIndexingScheme, available_schemes, make_scheme
 from .core.simulator import simulate_indexing, simulate_set_associative
@@ -40,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-cache",
         description="Reproduction of 'Evaluation of Techniques to Improve Cache "
         "Access Uniformities' (ICPP 2011)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -71,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine for cells with a vectorised fast path "
         "(auto = set-decomposed kernels where exact; results are "
         "bit-identical either way)",
+    )
+    run.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds: a hung cell fails the "
+        "run with attribution instead of blocking forever (default: "
+        "unlimited)",
     )
 
     trace = sub.add_parser(
@@ -139,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     uni.add_argument("--scheme", default="modulo")
     uni.add_argument("--refs", type=int, default=100_000)
     uni.add_argument("--seed", type=int, default=2011)
+
+    from .service.cli import add_service_commands
+
+    add_service_commands(sub)
     return parser
 
 
@@ -157,6 +175,8 @@ def _config_from(args) -> PaperConfig:
         updates["use_result_cache"] = False
     if getattr(args, "engine", None) is not None:
         updates["engine"] = args.engine
+    if getattr(args, "cell_timeout", None) is not None:
+        updates["cell_timeout"] = args.cell_timeout
     return replace(cfg, **updates) if updates else cfg
 
 
@@ -322,6 +342,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "uniformity":
         return _cmd_uniformity(args)
+    if args.command == "serve":
+        from .service.cli import cmd_serve
+
+        return cmd_serve(args)
+    if args.command == "submit":
+        from .service.cli import cmd_submit
+
+        return cmd_submit(args)
     return 1  # pragma: no cover
 
 

@@ -105,6 +105,14 @@ class PaperConfig:
     #: available, ``"sequential"`` forces the reference loop.  Results are
     #: bit-identical either way, so this knob is *not* part of cache keys.
     engine: str = "auto"
+    #: Per-cell wall-clock budget in seconds (``None`` = unlimited).  A cell
+    #: exceeding it fails the run with a :class:`CellExecutionError` naming
+    #: the (workload, scheme) pair instead of blocking forever — see
+    #: ``run_cells``.  Execution knob only (like ``jobs``/``engine``): it
+    #: never changes results, so it is *not* part of result-cache keys.
+    #: Surfaced as ``--cell-timeout`` on the CLI and reused by the job
+    #: server as its default per-request deadline.
+    cell_timeout: float | None = None
 
     @property
     def result_cache_path(self) -> Path:

@@ -19,7 +19,16 @@ order regardless of completion order.  The differential-test layer
 
 from .cache import ENGINE_VERSION, ResultCache, cell_key, trace_fingerprint
 from .cells import CellExecutionError, SimCell, execute_cell, make_cell
-from .parallel import EngineStats, ExperimentEngine, effective_jobs, run_cells
+from .parallel import (
+    CellPlan,
+    EngineStats,
+    ExperimentEngine,
+    effective_jobs,
+    engine_pool_scope,
+    plan_cells,
+    progress_scope,
+    run_cells,
+)
 
 __all__ = [
     "ENGINE_VERSION",
@@ -30,8 +39,12 @@ __all__ = [
     "make_cell",
     "execute_cell",
     "CellExecutionError",
+    "CellPlan",
     "ExperimentEngine",
     "EngineStats",
     "effective_jobs",
+    "engine_pool_scope",
+    "plan_cells",
+    "progress_scope",
     "run_cells",
 ]

@@ -26,22 +26,67 @@ sequential ones — a property locked down by
 Worker failures are re-raised in the parent as
 :class:`~repro.experiments.engine.cells.CellExecutionError` naming the
 failing (workload, scheme) cell, with the original exception chained.
+
+Serving-layer hooks
+-------------------
+The warm-and-key step is factored out as :func:`plan_cells` (returning a
+:class:`CellPlan`), which is **the** key-derivation path: the
+:mod:`repro.service` request normalizer calls the same function, so a
+service request and an in-process run can never derive different
+result-cache keys (audited by ``tests/service/test_key_parity.py``).
+
+Two :mod:`contextvars` scopes let a long-lived host embed the engine
+without touching the figure runners (which construct their own
+:class:`ExperimentEngine`):
+
+* :func:`progress_scope` — a per-context progress callback invoked after
+  every cell settles (cache hits and fresh simulations alike), so a server
+  can stream cell completions while ``run_experiment`` is still working;
+* :func:`engine_pool_scope` — a per-context persistent executor that
+  ``run_cells`` submits pending cells to *instead of* spawning (and tearing
+  down) its own ``ProcessPoolExecutor``, amortizing warm worker pools
+  across requests.
+
+Per-cell timeouts
+-----------------
+``cell_timeout`` (``config.cell_timeout`` / ``--cell-timeout``) bounds how
+long the engine waits for any single cell.  On the pool path a cell that
+exceeds the budget fails *with attribution* (a :class:`CellExecutionError`
+naming the cell) instead of blocking the whole run forever; remaining
+futures are cancelled and an engine-owned pool is abandoned without
+joining the hung worker.  The ``jobs=1`` in-process path cannot preempt a
+running cell, so there the timeout is enforced post-hoc (the run still
+fails, naming the offending cell, as soon as the cell returns).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError as FutureCancelledError
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
 
 from ...core.simulator import SimulationResult
 from ..config import PaperConfig
 from .cache import ResultCache, cell_key
 from .cells import CellExecutionError, SimCell, timed_execute_cell
 
-__all__ = ["EngineStats", "ExperimentEngine", "effective_jobs", "run_cells"]
+__all__ = [
+    "CellPlan",
+    "EngineStats",
+    "ExperimentEngine",
+    "effective_jobs",
+    "engine_pool_scope",
+    "plan_cells",
+    "progress_scope",
+    "run_cells",
+]
 
 
 def effective_jobs(jobs: int | None) -> int:
@@ -49,6 +94,50 @@ def effective_jobs(jobs: int | None) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+# -- embedding hooks (used by repro.service) ---------------------------------------
+
+#: Progress callback ``(cell_name, done, total, cached)`` invoked in the
+#: parent after every cell settles.  ContextVar so concurrent experiment
+#: runs in one process (e.g. server threads) never see each other's hook.
+_PROGRESS_HOOK: ContextVar[Callable[[str, int, int, bool], None] | None] = ContextVar(
+    "repro_engine_progress_hook", default=None
+)
+
+#: Persistent executor override: when set, ``run_cells`` submits pending
+#: cells here instead of creating (and tearing down) its own pool.
+_POOL_OVERRIDE: ContextVar[Executor | None] = ContextVar(
+    "repro_engine_pool_override", default=None
+)
+
+
+@contextmanager
+def progress_scope(hook: Callable[[str, int, int, bool], None]):
+    """Invoke ``hook(cell_name, done, total, cached)`` after each cell."""
+    token = _PROGRESS_HOOK.set(hook)
+    try:
+        yield
+    finally:
+        _PROGRESS_HOOK.reset(token)
+
+
+@contextmanager
+def engine_pool_scope(executor: Executor):
+    """Route every ``run_cells`` in this context onto ``executor``.
+
+    The engine never shuts the injected executor down — ownership stays
+    with the caller (the serving layer keeps one warm pool for its whole
+    lifetime).  Works with any :class:`concurrent.futures.Executor`.
+    """
+    token = _POOL_OVERRIDE.set(executor)
+    try:
+        yield
+    finally:
+        _POOL_OVERRIDE.reset(token)
+
+
+# -- stats -------------------------------------------------------------------------
 
 
 @dataclass
@@ -93,6 +182,31 @@ class EngineStats:
             f"{self.cache_misses} simulated, jobs={self.jobs}, "
             f"{self.wall_seconds:.2f}s"
         )
+
+
+# -- planning (warm + key derivation, shared with repro.service) -------------------
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """Everything ``run_cells`` (or the service) needs after trace warm-up.
+
+    ``keys`` is the *only* result-cache key derivation in the codebase:
+    both the in-process engine and the job server's request normalizer go
+    through :func:`plan_cells`, so their keys are byte-identical by
+    construction (and audited by test).
+    """
+
+    cells: tuple[SimCell, ...]
+    #: Content-addressed result-cache key per cell.
+    keys: dict[SimCell, str]
+    #: Npz path of each workload's (pre-warmed) evaluation trace.
+    trace_paths: dict[str, Path]
+    #: Npz path of each profiling trace (trainable-scheme cells only).
+    profile_paths: dict[str, Path]
+    #: Content fingerprints backing the keys (diagnostics / parity tests).
+    trace_fingerprints: dict[str, str]
+    profile_fingerprints: dict[str, str]
 
 
 def _warm_and_fingerprint(
@@ -142,21 +256,17 @@ def _warm_and_fingerprint(
     return trace_fp, profile_fp, trace_paths, profile_paths
 
 
-def run_cells(
-    cells: Iterable[SimCell],
-    config: PaperConfig,
-    jobs: int | None = None,
-    result_cache: ResultCache | None = None,
-) -> tuple[dict[tuple[str, str], SimulationResult], EngineStats]:
-    """Execute a cell grid; see the module docstring for the contract."""
-    cells = list(cells)
+def plan_cells(
+    cells: Iterable[SimCell], config: PaperConfig, jobs: int | None = None
+) -> CellPlan:
+    """Warm every trace the cells need and derive their result-cache keys.
+
+    This is the single shared front half of cell execution: ``run_cells``
+    calls it before scheduling, and :mod:`repro.service` calls it to
+    normalize network requests to the exact keys the in-process path uses.
+    """
+    cells = tuple(cells)
     jobs = effective_jobs(config.jobs if jobs is None else jobs)
-    t_start = time.perf_counter()
-    stats = EngineStats(jobs=jobs, cells_total=len(cells))
-
-    if result_cache is None and config.use_result_cache:
-        result_cache = ResultCache(config.result_cache_path)
-
     trace_fp, profile_fp, trace_paths, profile_paths = _warm_and_fingerprint(
         cells, config, jobs
     )
@@ -173,6 +283,49 @@ def run_cells(
         )
         for cell in cells
     }
+    return CellPlan(
+        cells=cells,
+        keys=keys,
+        trace_paths={w: Path(p) for w, p in trace_paths.items()},
+        profile_paths={w: Path(p) for w, p in profile_paths.items()},
+        trace_fingerprints=trace_fp,
+        profile_fingerprints=profile_fp,
+    )
+
+
+# -- execution ---------------------------------------------------------------------
+
+
+def run_cells(
+    cells: Iterable[SimCell],
+    config: PaperConfig,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    cell_timeout: float | None = None,
+) -> tuple[dict[tuple[str, str], SimulationResult], EngineStats]:
+    """Execute a cell grid; see the module docstring for the contract."""
+    cells = list(cells)
+    jobs = effective_jobs(config.jobs if jobs is None else jobs)
+    if cell_timeout is None:
+        cell_timeout = config.cell_timeout
+    t_start = time.perf_counter()
+    stats = EngineStats(jobs=jobs, cells_total=len(cells))
+    progress = _PROGRESS_HOOK.get()
+    done = 0
+
+    def _notify(cell: SimCell, cached: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(cell.name, done, len(cells), cached)
+
+    if result_cache is None and config.use_result_cache:
+        result_cache = ResultCache(config.result_cache_path)
+
+    plan = plan_cells(cells, config, jobs)
+    keys = plan.keys
+    trace_paths = plan.trace_paths
+    profile_paths = plan.profile_paths
 
     results: dict[tuple[str, str], SimulationResult] = {}
     pending: list[SimCell] = []
@@ -181,12 +334,14 @@ def run_cells(
         if cached is not None:
             results[(cell.workload, cell.label)] = cached
             stats.cache_hits += 1
+            _notify(cell, cached=True)
         else:
             pending.append(cell)
 
+    pool = _POOL_OVERRIDE.get()
     computed: dict[SimCell, tuple[SimulationResult, float]] = {}
     if pending:
-        if jobs <= 1 or len(pending) == 1:
+        if pool is None and (jobs <= 1 or len(pending) == 1):
             for cell in pending:
                 try:
                     computed[cell] = timed_execute_cell(
@@ -199,9 +354,21 @@ def run_cells(
                     raise CellExecutionError(
                         f"experiment cell ({cell.workload}, {cell.label}) failed: {exc}"
                     ) from exc
+                # The in-process path cannot preempt a running cell; enforce
+                # the budget post-hoc so the run still fails with attribution.
+                if cell_timeout is not None and computed[cell][1] > cell_timeout:
+                    raise CellExecutionError(
+                        f"experiment cell ({cell.workload}, {cell.label}) exceeded "
+                        f"the per-cell timeout ({computed[cell][1]:.3f}s > "
+                        f"{cell_timeout:g}s)"
+                    )
+                _notify(cell, cached=False)
         else:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            owns_pool = pool is None
+            if owns_pool:
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+            timed_out = False
+            try:
                 futures = {
                     cell: pool.submit(
                         timed_execute_cell,
@@ -214,12 +381,32 @@ def run_cells(
                 }
                 for cell, future in futures.items():
                     try:
-                        computed[cell] = future.result()
+                        computed[cell] = future.result(timeout=cell_timeout)
+                    except FutureTimeoutError:
+                        timed_out = True
+                        for f in futures.values():
+                            f.cancel()
+                        raise CellExecutionError(
+                            f"experiment cell ({cell.workload}, {cell.label}) "
+                            f"exceeded the per-cell timeout ({cell_timeout:g}s)"
+                        ) from None
+                    except FutureCancelledError:
+                        raise CellExecutionError(
+                            f"experiment cell ({cell.workload}, {cell.label}) "
+                            f"was cancelled"
+                        ) from None
                     except Exception as exc:
                         raise CellExecutionError(
                             f"experiment cell ({cell.workload}, {cell.label}) "
                             f"failed in worker: {exc}"
                         ) from exc
+                    _notify(cell, cached=False)
+            finally:
+                if owns_pool:
+                    # On a timeout, abandon the pool without joining the hung
+                    # worker (joining would re-introduce the indefinite block
+                    # the timeout exists to prevent).
+                    pool.shutdown(wait=not timed_out, cancel_futures=True)
 
     for cell in pending:
         result, seconds = computed[cell]
@@ -247,16 +434,24 @@ class ExperimentEngine:
         config: PaperConfig,
         jobs: int | None = None,
         result_cache: ResultCache | None = None,
+        cell_timeout: float | None = None,
     ):
         self.config = config
         self.jobs = effective_jobs(config.jobs if jobs is None else jobs)
         if result_cache is None and config.use_result_cache:
             result_cache = ResultCache(config.result_cache_path)
         self.result_cache = result_cache
+        self.cell_timeout = (
+            config.cell_timeout if cell_timeout is None else cell_timeout
+        )
 
     def run(
         self, cells: Iterable[SimCell]
     ) -> tuple[dict[tuple[str, str], SimulationResult], EngineStats]:
         return run_cells(
-            cells, self.config, jobs=self.jobs, result_cache=self.result_cache
+            cells,
+            self.config,
+            jobs=self.jobs,
+            result_cache=self.result_cache,
+            cell_timeout=self.cell_timeout,
         )

@@ -1,0 +1,180 @@
+"""Observability surface of the job server.
+
+One :class:`ServiceStats` instance lives for the daemon's lifetime and is
+updated by the scheduler and the connection handlers.  ``health`` answers
+come from :meth:`ServiceStats.health`, ``stats`` answers from
+:meth:`ServiceStats.snapshot` — uptime, request counts by type, queue
+depth and in-flight work, coalescing / backpressure / cache counters, and
+per-request-type latency histograms.
+
+The histogram is a fixed logarithmic bucket ladder (sub-millisecond up to
+minutes): cheap to update, safe to snapshot from the event loop, and
+good enough for p50/p90/p99 service-latency estimates (each quantile is
+reported as the upper bound of the bucket it lands in).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["LatencyHistogram", "ServiceStats"]
+
+
+class LatencyHistogram:
+    """Log-scale latency histogram (seconds) with quantile estimates."""
+
+    #: Bucket upper bounds in seconds: 0.5 ms · 2^i, topped by +inf.
+    BOUNDS: tuple[float, ...] = tuple(0.0005 * 2**i for i in range(20)) + (
+        float("inf"),
+    )
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(self.BOUNDS)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        for i, bound in enumerate(self.BOUNDS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (0 if empty)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                bound = self.BOUNDS[i]
+                return self.max_seconds if bound == float("inf") else bound
+        return self.max_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_seconds": (
+                self.total_seconds / self.count if self.count else 0.0
+            ),
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.quantile(0.50),
+            "p90_seconds": self.quantile(0.90),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": {
+                ("+inf" if b == float("inf") else f"{b:g}"): n
+                for b, n in zip(self.BOUNDS, self.counts)
+                if n
+            },
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Daemon-lifetime counters; single-threaded updates from the event loop."""
+
+    started_at: float = field(default_factory=time.time)
+
+    # Connections.
+    connections_open: int = 0
+    connections_total: int = 0
+
+    # Requests by type (terminal frames sent).
+    requests: dict[str, int] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+
+    # Cell-level scheduler counters.
+    cells_submitted: int = 0
+    #: Joined an already-in-flight identical computation (single-flight).
+    cells_coalesced: int = 0
+    #: Rejected at admission (queue-depth backpressure).
+    cells_rejected: int = 0
+    #: Answered from the content-addressed result cache.
+    cells_cache_hits: int = 0
+    #: Actually simulated by the worker pool.
+    cells_executed: int = 0
+    cells_failed: int = 0
+    #: Flights abandoned because every waiter left (disconnect/deadline).
+    cells_cancelled: int = 0
+    #: Waits that hit their per-request deadline.
+    deadline_timeouts: int = 0
+
+    #: Latency histograms per request type ("cell", "experiment", ...).
+    latency: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    # -- update helpers -----------------------------------------------------------
+
+    def count_request(self, rtype: str) -> None:
+        self.requests[rtype] = self.requests.get(rtype, 0) + 1
+
+    def count_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+    def observe_latency(self, rtype: str, seconds: float) -> None:
+        hist = self.latency.get(rtype)
+        if hist is None:
+            hist = self.latency[rtype] = LatencyHistogram()
+        hist.observe(seconds)
+
+    # -- derived views ------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self.started_at
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        settled = self.cells_cache_hits + self.cells_executed
+        return self.cells_cache_hits / settled if settled else 0.0
+
+    def health(self, version: str, extra: dict[str, Any] | None = None) -> dict:
+        doc = {
+            "status": "ok",
+            "server": "repro.service",
+            "version": version,
+            "pid": os.getpid(),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "connections_open": self.connections_open,
+        }
+        if extra:
+            doc.update(extra)
+        return doc
+
+    def snapshot(
+        self, queue_depth: int, in_flight: int, extra: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "cells": {
+                "submitted": self.cells_submitted,
+                "coalesced": self.cells_coalesced,
+                "rejected": self.cells_rejected,
+                "cache_hits": self.cells_cache_hits,
+                "executed": self.cells_executed,
+                "failed": self.cells_failed,
+                "cancelled": self.cells_cancelled,
+                "deadline_timeouts": self.deadline_timeouts,
+                "cache_hit_ratio": round(self.cache_hit_ratio, 6),
+            },
+            "latency": {k: h.as_dict() for k, h in sorted(self.latency.items())},
+        }
+        if extra:
+            doc.update(extra)
+        return doc

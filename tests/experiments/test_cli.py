@@ -16,6 +16,36 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig4", "--refs", "1000"])
         assert args.experiment == "fig4" and args.refs == 1000
 
+    def test_run_cell_timeout(self):
+        args = build_parser().parse_args(["run", "fig4", "--cell-timeout", "2.5"])
+        assert args.cell_timeout == 2.5
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--max-pending", "8",
+             "--threads", "--cell-timeout", "1.5"]
+        )
+        assert args.port == 0 and args.jobs == 2 and args.max_pending == 8
+        assert args.threads is True and args.cell_timeout == 1.5
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "sweep", "--workload", "fft",
+             "--schemes", "baseline,XOR", "--deadline", "3"]
+        )
+        assert args.target == "sweep" and args.workload == "fft"
+        assert args.schemes == "baseline,XOR" and args.deadline == 3.0
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -75,6 +105,16 @@ class TestCommands:
     def test_trace_warm_rejects_unknown_experiment(self, capsys):
         assert main(["trace", "warm", "--experiments", "nope"]) == 2
         assert "nope" in capsys.readouterr().err
+
+    def test_submit_without_server_fails_cleanly(self, capsys):
+        # Port 1 is never listening; the client must fail with a clear
+        # connection error (exit 3), not a traceback.
+        assert main(["submit", "health", "--port", "1"]) == 3
+        assert "cannot reach repro.service" in capsys.readouterr().err
+
+    def test_submit_cell_requires_workload_and_label(self, capsys):
+        assert main(["submit", "cell", "--port", "1"]) == 2
+        assert "--workload" in capsys.readouterr().err
 
     def test_run_experiment(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)  # trace cache lands in tmp

@@ -46,6 +46,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "optimised layout" in out
 
+    def test_service_client(self, monkeypatch, tmp_path, capsys):
+        run_example(monkeypatch, tmp_path, "service_client.py", ["fft", "6000"])
+        out = capsys.readouterr().out
+        assert "job server listening" in out
+        assert "coalesced" in out and "cache hits" in out
+        assert "server stopped" in out
+
     def test_replay_paper_single_small(self, monkeypatch, tmp_path, capsys):
         # Full replay is exercised by the benches; here just check the
         # script's plumbing with a tiny ref count would take minutes, so we

@@ -1,0 +1,110 @@
+"""Shared fixtures for the job-server tests.
+
+Every test gets a *thread-mode*, in-process :class:`ReproServer` on an
+ephemeral port with its caches rooted in ``tmp_path`` — fully isolated,
+no subprocesses, and monkeypatching of engine internals works because the
+server shares the test's interpreter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.service import ReproServer, ServiceClient
+
+#: Tiny-but-real simulation size: fast, yet every scheme still differs.
+REFS = 1500
+SCALE = 0.05
+
+
+@pytest.fixture
+def service_config(tmp_path) -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=REFS,
+        workload_scale=SCALE,
+        jobs=1,
+        trace_cache_dir=tmp_path / "traces",
+    )
+
+
+class ServerHandle:
+    """One thread-mode server on a private event loop, joinable on stop."""
+
+    def __init__(self, config: PaperConfig, **kwargs):
+        kwargs.setdefault("workers", 2)
+        self.server = ReproServer(config, port=0, use_processes=False, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-test-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            await self.server.serve_forever()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._started.set()  # unblock start() even on startup failure
+            self._loop.close()
+
+    def start(self) -> "ServerHandle":
+        self._thread.start()
+        assert self._started.wait(30), "server did not start in 30s"
+        assert self.server.port, "server has no bound port"
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def stats(self):
+        return self.server.stats
+
+    @property
+    def scheduler(self):
+        return self.server.scheduler
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                # Trip the server's stop event from inside its own loop.
+                self._loop.call_soon_threadsafe(self.server._stopping.set)
+            self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server thread did not exit"
+
+
+@pytest.fixture
+def make_server(service_config):
+    """Factory: ``make_server(config=None, **ReproServer kwargs)``."""
+    handles: list[ServerHandle] = []
+
+    def _make(config: PaperConfig | None = None, **kwargs) -> ServerHandle:
+        handle = ServerHandle(config if config is not None else service_config, **kwargs)
+        handles.append(handle)
+        return handle.start()
+
+    yield _make
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def server(make_server) -> ServerHandle:
+    return make_server()

@@ -1,0 +1,345 @@
+"""Scheduler unit tests: single-flight, backpressure, deadlines, cancellation.
+
+These drive :class:`CellScheduler` directly under ``asyncio.run`` with a
+*fake* cell executor (monkeypatched ``timed_execute_cell``), so timing is
+controlled by events rather than real simulations and every race the
+serving semantics promise to handle is forced deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.service.scheduler as scheduler_mod
+from repro.core.simulator import SimulationResult
+from repro.experiments.config import PaperConfig
+from repro.experiments.engine import ResultCache, SimCell
+from repro.experiments.engine.parallel import CellPlan
+from repro.service.scheduler import (
+    CellScheduler,
+    DeadlineExceeded,
+    FlightCancelled,
+    Overloaded,
+)
+
+
+def _cell(label: str) -> SimCell:
+    return SimCell(kind="indexing", workload="fft", label=label)
+
+
+def _plan(*cells: SimCell) -> CellPlan:
+    """A hand-built plan: fabricated keys, no real traces needed."""
+    return CellPlan(
+        cells=tuple(cells),
+        keys={c: f"deadbeef-{c.label}" for c in cells},
+        trace_paths={},
+        profile_paths={},
+        trace_fingerprints={},
+        profile_fingerprints={},
+    )
+
+
+def _result(label: str) -> SimulationResult:
+    return SimulationResult(
+        model=label,
+        trace_name="fft",
+        accesses=10,
+        hits=8,
+        misses=2,
+        lookup_cycles=10,
+        slot_accesses=np.array([5, 5], dtype=np.int64),
+        slot_hits=np.array([4, 4], dtype=np.int64),
+        slot_misses=np.array([1, 1], dtype=np.int64),
+    )
+
+
+class FakeExecution:
+    """Controllable stand-in for ``timed_execute_cell``.
+
+    Counts invocations and, when ``gate`` is set, blocks each one until
+    :meth:`release` — the lever that makes coalescing/deadline/cancel
+    scenarios deterministic.
+    """
+
+    def __init__(self, gate: bool = False):
+        self.calls = 0
+        self.started = threading.Event()
+        self._release = threading.Event()
+        if not gate:
+            self._release.set()
+
+    def release(self) -> None:
+        self._release.set()
+
+    def __call__(self, cell, config, trace_path=None, profile_path=None):
+        self.calls += 1
+        self.started.set()
+        assert self._release.wait(20), "FakeExecution never released"
+        return _result(cell.label), 0.001
+
+
+@pytest.fixture
+def config(tmp_path) -> PaperConfig:
+    return replace(PaperConfig(), trace_cache_dir=tmp_path / "traces")
+
+
+def make_scheduler(config, **kwargs) -> CellScheduler:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("use_processes", False)
+    return CellScheduler(config, **kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submissions_execute_once(
+        self, config, monkeypatch
+    ):
+        fake = FakeExecution(gate=True)
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                waiters = [
+                    asyncio.create_task(sched.submit(cell, config, plan))
+                    for _ in range(8)
+                ]
+                await asyncio.sleep(0)  # let every waiter join the flight
+                fake.release()
+                return await asyncio.gather(*waiters), sched.stats
+            finally:
+                await sched.close()
+
+        outcomes, stats = run(main())
+        assert fake.calls == 1  # the exactly-once property
+        assert stats.cells_executed == 1
+        assert stats.cells_submitted == 8
+        assert stats.cells_coalesced == 7
+        assert [o.coalesced for o in outcomes].count(False) == 1
+        # Every waiter fans out the *same* result object.
+        assert len({id(o.result) for o in outcomes}) == 1
+
+    def test_distinct_keys_do_not_coalesce(self, config, monkeypatch):
+        fake = FakeExecution()
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        a, b = _cell("XOR"), _cell("Prime_Modulo")
+        plan = _plan(a, b)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                ra, rb = await asyncio.gather(
+                    sched.submit(a, config, plan), sched.submit(b, config, plan)
+                )
+                return ra, rb, sched.stats
+            finally:
+                await sched.close()
+
+        ra, rb, stats = run(main())
+        assert fake.calls == 2
+        assert stats.cells_coalesced == 0
+        assert ra.result.model == "XOR" and rb.result.model == "Prime_Modulo"
+
+    def test_sequential_resubmission_is_a_cache_hit(self, config, monkeypatch):
+        fake = FakeExecution()
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                first = await sched.submit(cell, config, plan)
+                second = await sched.submit(cell, config, plan)
+                return first, second, sched.stats
+            finally:
+                await sched.close()
+
+        first, second, stats = run(main())
+        assert fake.calls == 1
+        assert first.cache_hit is False and second.cache_hit is True
+        assert stats.cells_cache_hits == 1
+        # The result round-tripped through the content-addressed cache.
+        cache = ResultCache(config.result_cache_path)
+        assert plan.keys[cell] in cache
+
+    def test_prewarmed_cache_short_circuits_execution(self, config, monkeypatch):
+        fake = FakeExecution()
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+        ResultCache(config.result_cache_path).store(plan.keys[cell], _result("XOR"))
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                return await sched.submit(cell, config, plan)
+            finally:
+                await sched.close()
+
+        outcome = run(main())
+        assert outcome.cache_hit is True
+        assert fake.calls == 0
+
+
+class TestBackpressure:
+    def test_admission_rejects_beyond_max_pending(self, config, monkeypatch):
+        fake = FakeExecution(gate=True)
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        a, b = _cell("XOR"), _cell("Prime_Modulo")
+        plan = _plan(a, b)
+
+        async def main():
+            sched = make_scheduler(config, max_pending=1)
+            try:
+                first = asyncio.create_task(sched.submit(a, config, plan))
+                await asyncio.sleep(0)  # flight for `a` occupies the only slot
+                with pytest.raises(Overloaded):
+                    await sched.submit(b, config, plan)
+                # Joining the existing flight is *always* admitted.
+                joiner = asyncio.create_task(sched.submit(a, config, plan))
+                await asyncio.sleep(0)
+                fake.release()
+                outcomes = await asyncio.gather(first, joiner)
+                return outcomes, sched.stats
+            finally:
+                await sched.close()
+
+        outcomes, stats = run(main())
+        assert stats.cells_rejected == 1
+        assert [o.coalesced for o in outcomes] == [False, True]
+        assert fake.calls == 1
+
+    def test_slot_frees_after_completion(self, config, monkeypatch):
+        fake = FakeExecution()
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        a, b = _cell("XOR"), _cell("Prime_Modulo")
+        plan = _plan(a, b)
+
+        async def main():
+            sched = make_scheduler(config, max_pending=1)
+            try:
+                await sched.submit(a, config, plan)
+                return await sched.submit(b, config, plan), sched
+            finally:
+                await sched.close()
+
+        outcome, sched = run(main())
+        assert outcome.result.model == "Prime_Modulo"
+        assert sched.stats.cells_rejected == 0
+        assert sched.queue_depth == 0
+
+
+class TestDeadlinesAndCancellation:
+    def test_deadline_raises_and_releases_the_flight(self, config, monkeypatch):
+        fake = FakeExecution(gate=True)
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                t0 = time.perf_counter()
+                with pytest.raises(DeadlineExceeded):
+                    await sched.submit(cell, config, plan, deadline=0.05)
+                waited = time.perf_counter() - t0
+                # Give the cancelled flight a beat to unwind.
+                await asyncio.sleep(0.01)
+                return waited, sched.queue_depth, sched.stats
+            finally:
+                fake.release()
+                await sched.close()
+
+        waited, depth, stats = run(main())
+        assert waited < 5.0  # structured error, not a hang
+        assert stats.deadline_timeouts == 1
+        assert stats.cells_cancelled == 1  # last waiter left -> flight cancelled
+        assert depth == 0
+
+    def test_deadline_of_one_waiter_spares_the_shared_flight(
+        self, config, monkeypatch
+    ):
+        fake = FakeExecution(gate=True)
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                patient = asyncio.create_task(sched.submit(cell, config, plan))
+                await asyncio.sleep(0)
+                with pytest.raises(DeadlineExceeded):
+                    await sched.submit(cell, config, plan, deadline=0.05)
+                # The impatient waiter is gone, but the flight must survive
+                # for the patient one (shielded task, waiters == 1).
+                fake.release()
+                return await patient, sched.stats
+            finally:
+                await sched.close()
+
+        outcome, stats = run(main())
+        assert outcome.result.model == "XOR"
+        assert stats.cells_cancelled == 0
+        assert fake.calls == 1
+
+    def test_close_surfaces_flight_cancellation_to_waiters(
+        self, config, monkeypatch
+    ):
+        fake = FakeExecution(gate=True)
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", fake)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            waiter = asyncio.create_task(sched.submit(cell, config, plan))
+            # Wait (without blocking the loop) until the fake is running.
+            deadline = time.perf_counter() + 10
+            while not fake.started.is_set():
+                assert time.perf_counter() < deadline, "execution never started"
+                await asyncio.sleep(0.005)
+            await sched.close()
+            fake.release()
+            with pytest.raises(FlightCancelled):
+                await waiter
+
+        run(main())
+
+    def test_worker_exception_propagates_to_every_waiter(
+        self, config, monkeypatch
+    ):
+        def boom(cell, config, trace_path=None, profile_path=None):
+            raise ValueError("simulated failure")
+
+        monkeypatch.setattr(scheduler_mod, "timed_execute_cell", boom)
+        cell = _cell("XOR")
+        plan = _plan(cell)
+
+        async def main():
+            sched = make_scheduler(config)
+            try:
+                waiters = [
+                    asyncio.create_task(sched.submit(cell, config, plan))
+                    for _ in range(3)
+                ]
+                results = await asyncio.gather(*waiters, return_exceptions=True)
+                return results, sched.stats
+            finally:
+                await sched.close()
+
+        results, stats = run(main())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert stats.cells_failed == 1  # one flight, one failure, three answers
