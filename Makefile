@@ -26,12 +26,13 @@ bench:
 	  --benchmark-json=BENCH_$$(git rev-parse --short HEAD).json
 
 # Replay the regression canaries (engine micro-benchmarks + trace
-# generation) and gate them against the committed BENCH_*.json baseline
-# (>25% slowdown on any canary fails).  The trace-gen file also enforces
-# machine-independent bulk-vs-scalar speedup floors in-test.
+# generation + sweep batching) and gate them against the committed
+# BENCH_*.json baseline (>25% slowdown on any canary fails).  The
+# trace-gen and sweep-batching files also enforce machine-independent
+# speedup floors in-test.
 bench-check:
 	$(PY) -m pytest benchmarks/test_engine_micro.py benchmarks/test_trace_gen.py \
-	  benchmarks/test_service_bench.py \
+	  benchmarks/test_service_bench.py benchmarks/test_sweep_batching_bench.py \
 	  --benchmark-only --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json
 

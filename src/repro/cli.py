@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
     run.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable sweep-family batching (one execution unit per cell; "
+        "results are bit-identical either way)",
+    )
+    run.add_argument(
         "--cell-timeout",
         type=float,
         default=None,
@@ -125,10 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=2011)
     sweep.add_argument(
         "--ways",
-        type=int,
-        default=1,
+        default="1",
         help="associativity of the swept cache (1 = the paper's direct-mapped "
-        "L1; >1 routes through the k-way LRU stack-distance kernel)",
+        "L1; >1 routes through the k-way LRU stack-distance kernel; a "
+        "comma list like 1,2,4,8 sweeps every associativity over fixed "
+        "sets from ONE stack-distance pass per scheme)",
     )
     sweep.add_argument(
         "--policy",
@@ -175,6 +182,8 @@ def _config_from(args) -> PaperConfig:
         updates["use_result_cache"] = False
     if getattr(args, "engine", None) is not None:
         updates["engine"] = args.engine
+    if getattr(args, "no_batch", False):
+        updates["batch_sweeps"] = False
     if getattr(args, "cell_timeout", None) is not None:
         updates["cell_timeout"] = args.cell_timeout
     return replace(cfg, **updates) if updates else cfg
@@ -256,16 +265,30 @@ def _cmd_trace_warm(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    try:
+        ways_list = [int(w) for w in str(args.ways).split(",") if w.strip()]
+    except ValueError:
+        print(f"error: invalid --ways value {args.ways!r}", file=sys.stderr)
+        return 2
+    if not ways_list:
+        ways_list = [1]
     trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
+    if len(ways_list) > 1:
+        return _cmd_sweep_ways(args, trace, ways_list)
+    ways = ways_list[0]
     geometry = PAPER_L1_GEOMETRY
-    if args.ways != 1:
-        geometry = geometry.with_ways(args.ways)
+    if ways != 1:
+        try:
+            geometry = geometry.with_ways(ways)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(f"{args.workload}: {len(trace)} refs, geometry {geometry.describe()}")
     for name in args.schemes.split(","):
         scheme = make_scheme(name.strip(), geometry)
         if isinstance(scheme, TrainableIndexingScheme):
             scheme.fit(trace.addresses)
-        if args.ways == 1 and args.policy == "lru":
+        if ways == 1 and args.policy == "lru":
             res = simulate_indexing(scheme, trace, geometry)
         else:
             try:
@@ -276,6 +299,41 @@ def _cmd_sweep(args) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         print(f"  {scheme.name:16s} miss_rate={res.miss_rate:.4f} misses={res.misses}")
+    return 0
+
+
+def _cmd_sweep_ways(args, trace, ways_list: list[int]) -> int:
+    """Mattson sweep: every associativity over fixed sets from one pass."""
+    from .core.simulator import simulate_lru_sweep
+
+    if args.policy != "lru":
+        print(
+            "error: the single-pass associativity sweep is exact only for LRU "
+            f"(the Mattson inclusion property); got policy {args.policy!r}",
+            file=sys.stderr,
+        )
+        return 2
+    geometry = PAPER_L1_GEOMETRY
+    print(
+        f"{args.workload}: {len(trace)} refs, {geometry.num_sets} sets fixed, "
+        f"ways {','.join(map(str, ways_list))} from one stack-distance pass per scheme"
+    )
+    for name in args.schemes.split(","):
+        scheme = make_scheme(name.strip(), geometry)
+        if isinstance(scheme, TrainableIndexingScheme):
+            scheme.fit(trace.addresses)
+        try:
+            results = simulate_lru_sweep(
+                scheme, trace, geometry, [(w, "setassoc") for w in ways_list]
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for ways, res in zip(ways_list, results):
+            print(
+                f"  {scheme.name:16s} {ways:>3}-way "
+                f"miss_rate={res.miss_rate:.4f} misses={res.misses}"
+            )
     return 0
 
 

@@ -159,6 +159,23 @@ class CacheGeometry:
         """Same capacity/line size with a different associativity."""
         return CacheGeometry(self.capacity_bytes, self.line_bytes, ways, self.address_bits)
 
+    def with_fixed_sets(self, ways: int) -> "CacheGeometry":
+        """Same set count/line size with a different associativity.
+
+        Capacity scales with ``ways`` so ``num_sets`` (and therefore the
+        set-index mapping) is unchanged — the Mattson associativity-sweep
+        geometry: every ``ways`` shares one per-access stack-distance
+        stream, so one pass answers the whole sweep.  Contrast
+        :meth:`with_ways`, which holds capacity fixed and *changes* the
+        mapping.
+        """
+        return CacheGeometry(
+            self.num_sets * ways * self.line_bytes,
+            self.line_bytes,
+            ways,
+            self.address_bits,
+        )
+
     def describe(self) -> str:
         return (
             f"{self.capacity_bytes // 1024}KiB, {self.line_bytes}B lines, "

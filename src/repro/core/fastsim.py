@@ -37,6 +37,7 @@ __all__ = [
     "lru_miss_flags",
     "lru_miss_count",
     "lru_stack_distances",
+    "lru_sweep_miss_flags",
     "per_set_counts",
 ]
 
@@ -249,6 +250,33 @@ def lru_miss_flags(blocks: np.ndarray, indices: np.ndarray, ways: int) -> np.nda
         return direct_mapped_miss_flags(blocks, indices)
     distances = lru_stack_distances(blocks, indices)
     return (distances < 0) | (distances >= ways)
+
+
+def lru_sweep_miss_flags(
+    blocks: np.ndarray, indices: np.ndarray, ways_list
+) -> dict[int, np.ndarray]:
+    """Miss vectors for *every* requested associativity from one distance pass.
+
+    The Mattson inclusion property makes the per-access stack distance a
+    sufficient statistic for LRU hit/miss at any associativity, so an
+    associativity sweep costs one :func:`lru_stack_distances` pass plus one
+    cheap threshold per member instead of one full pass per member.  Each
+    returned vector is bit-identical to ``lru_miss_flags(blocks, indices,
+    ways)`` for that ``ways`` (``ways=1`` included: ``distance != 0`` is
+    exactly the direct-mapped outcome).
+
+    Returns ``{ways: boolean miss vector}`` over the distinct requested
+    associativities.
+    """
+    ways_list = [int(w) for w in ways_list]
+    if any(w < 1 for w in ways_list):
+        raise ValueError("ways must be positive integers")
+    if not ways_list:
+        return {}
+    distances = lru_stack_distances(blocks, indices)
+    return {
+        w: (distances < 0) | (distances >= w) for w in dict.fromkeys(ways_list)
+    }
 
 
 def lru_miss_count(blocks: np.ndarray, indices: np.ndarray, ways: int) -> int:

@@ -33,13 +33,19 @@ from ..trace.event import Trace
 from .address import CacheGeometry
 from .amat import TimingModel, amat_from_cycles
 from .caches.base import CacheModel, CacheStats
-from .fastsim import direct_mapped_miss_flags, lru_miss_flags, per_set_counts
+from .fastsim import (
+    direct_mapped_miss_flags,
+    lru_miss_flags,
+    lru_sweep_miss_flags,
+    per_set_counts,
+)
 from .indexing.base import IndexingScheme
 
 __all__ = [
     "SimulationResult",
     "simulate",
     "simulate_indexing",
+    "simulate_lru_sweep",
     "simulate_set_associative",
     "simulate_fully_associative",
     "warmup_split",
@@ -230,6 +236,70 @@ def simulate_set_associative(
         # the result dicts compare equal (the key is absent when hits == 0).
         extra={"direct_hits": hits} if hits else {},
     )
+
+
+def simulate_lru_sweep(
+    scheme: IndexingScheme,
+    trace: Trace,
+    geometry: CacheGeometry,
+    specs,
+) -> list[SimulationResult]:
+    """One associativity *sweep* under one indexing scheme, from one pass.
+
+    ``specs`` is a sequence of ``(ways, style)`` members sharing the
+    scheme's set mapping; ``style`` names the per-cell entry point whose
+    packaging each member must reproduce bit-for-bit:
+
+    * ``"direct"`` (``ways`` must be 1) — :func:`simulate_indexing`'s
+      conventions: model ``direct_mapped[<scheme>]``, ``direct_hits``
+      always present.
+    * ``"setassoc"`` — :func:`simulate_set_associative`'s conventions:
+      model ``set_associative[<scheme>,<k>way]``, ``direct_hits`` present
+      only when nonzero.
+
+    All members share ``geometry``'s ``num_sets``/``offset_bits`` (the
+    exactness condition the engine's family detector enforces); only the
+    thresholded associativity differs, so the whole sweep costs one
+    :func:`~repro.core.fastsim.lru_stack_distances` pass.  Returns one
+    :class:`SimulationResult` per spec, in spec order, each bit-identical
+    (per-set counts included) to its per-cell equivalent — the contract
+    locked down by ``tests/core/test_sweep_batching_differential.py``.
+    """
+    specs = [(int(ways), style) for ways, style in specs]
+    for ways, style in specs:
+        if style not in ("direct", "setassoc"):
+            raise ValueError(f"unknown sweep member style {style!r}")
+        if style == "direct" and ways != 1:
+            raise ValueError("style 'direct' models a direct-mapped cache (ways=1)")
+        if ways < 1:
+            raise ValueError("ways must be a positive integer")
+    blocks = trace.blocks(geometry.offset_bits).astype(np.int64)
+    indices = scheme.indices_of(trace.addresses)
+    if indices.size and (indices.min() < 0 or indices.max() >= geometry.num_sets):
+        raise ValueError("indexing scheme produced an out-of-range set index")
+    flags = lru_sweep_miss_flags(blocks, indices, [ways for ways, _ in specs])
+    total = int(indices.size)
+    results = []
+    for ways, style in specs:
+        miss = flags[ways]
+        hits = total - int(miss.sum())
+        if style == "direct":
+            model = f"direct_mapped[{scheme.name}]"
+            extra = {"direct_hits": hits}
+        else:
+            model = f"set_associative[{scheme.name},{ways}way]"
+            extra = {"direct_hits": hits} if hits else {}
+        results.append(
+            _vectorised_result(
+                model=model,
+                trace_name=trace.name,
+                indices=indices,
+                miss=miss,
+                num_sets=geometry.num_sets,
+                extra=extra,
+            )
+        )
+    return results
 
 
 def simulate_fully_associative(

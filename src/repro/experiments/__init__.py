@@ -8,6 +8,7 @@ schematics with nothing to measure)::
 """
 
 from . import (  # noqa: F401  (imported for registration side effects)
+    ext_assoc,
     ext_bounds,
     ext_dynamic,
     ext_hpc,

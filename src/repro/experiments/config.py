@@ -105,6 +105,15 @@ class PaperConfig:
     #: available, ``"sequential"`` forces the reference loop.  Results are
     #: bit-identical either way, so this knob is *not* part of cache keys.
     engine: str = "auto"
+    #: Batch provably-equivalent cells into *sweep families* (see
+    #: :mod:`repro.experiments.engine.families`): same-mapping LRU cells of
+    #: one workload share a single stack-distance pass (the Mattson axis)
+    #: and remaining same-workload cells share one trace decode.  Results
+    #: and result-cache keys are bit-identical either way — execution knob
+    #: only, *not* part of cache keys (like ``jobs``/``engine``).  The
+    #: Mattson axis additionally requires ``engine == "auto"``.  Surfaced
+    #: as ``run --no-batch`` on the CLI.
+    batch_sweeps: bool = True
     #: Per-cell wall-clock budget in seconds (``None`` = unlimited).  A cell
     #: exceeding it fails the run with a :class:`CellExecutionError` naming
     #: the (workload, scheme) pair instead of blocking forever — see

@@ -18,7 +18,16 @@ order regardless of completion order.  The differential-test layer
 """
 
 from .cache import ENGINE_VERSION, ResultCache, cell_key, trace_fingerprint
-from .cells import CellExecutionError, SimCell, execute_cell, make_cell
+from .cells import (
+    CellExecutionError,
+    KernelSpec,
+    SimCell,
+    build_kernel_scheme,
+    execute_cell,
+    kernel_cell_spec,
+    make_cell,
+)
+from .families import SweepFamily, detect_families, execute_family
 from .parallel import (
     CellPlan,
     EngineStats,
@@ -36,8 +45,14 @@ __all__ = [
     "cell_key",
     "trace_fingerprint",
     "SimCell",
+    "KernelSpec",
+    "SweepFamily",
     "make_cell",
     "execute_cell",
+    "execute_family",
+    "detect_families",
+    "kernel_cell_spec",
+    "build_kernel_scheme",
     "CellExecutionError",
     "CellPlan",
     "ExperimentEngine",

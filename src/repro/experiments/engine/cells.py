@@ -30,6 +30,13 @@ Cell kinds
     One scheme × geometry × ways grid point: a k-way LRU cache simulated by
     the vectorised stack-distance kernel (labels ``2way``/``4way``/…, or
     ``FullAssoc`` for the single-set LRU bound).
+``assocsweep``
+    One point of a fixed-sets associativity sweep (label ``<k>way``): a
+    k-way LRU cache over ``geometry.with_fixed_sets(k)``, so every point of
+    the sweep shares the base geometry's set mapping.  That shared mapping
+    is what lets the engine's family batcher answer a whole sweep from one
+    stack-distance pass (Mattson); per-cell execution is an ordinary
+    ``simulate_set_associative`` call and stays the bit-identity reference.
 ``bounds``
     One ext-bounds comparison column.  Set-associative and fully-associative
     labels route through the ``setassoc`` fast path; B-cache and
@@ -64,20 +71,38 @@ from ..config import PaperConfig
 
 __all__ = [
     "SimCell",
+    "KernelSpec",
     "make_cell",
     "execute_cell",
     "timed_execute_cell",
+    "kernel_cell_spec",
+    "build_kernel_scheme",
     "CellExecutionError",
     "CELL_KINDS",
 ]
 
-CELL_KINDS = ("baseline", "indexing", "progassoc", "colassoc", "setassoc", "bounds")
+CELL_KINDS = (
+    "baseline",
+    "indexing",
+    "progassoc",
+    "colassoc",
+    "setassoc",
+    "assocsweep",
+    "bounds",
+)
 
 #: ``setassoc``/``bounds`` labels handled by the vectorised k-way LRU kernel.
 _WAYS_LABELS = {"2way": 2, "4way": 4, "8way": 8}
 
 #: Indexing-cell labels that require an off-line profiling (training) run.
 _TRAINABLE_LABELS = frozenset({"Givargis", "Givargis_Xor"})
+
+
+def _parse_ways_label(label: str) -> int | None:
+    """``"<k>way"`` → ``k`` (``"8way"`` → 8), else ``None``."""
+    if label.endswith("way") and label[:-3].isdigit():
+        return int(label[:-3])
+    return None
 
 
 class CellExecutionError(RuntimeError):
@@ -140,6 +165,15 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
             params.append(("odd_multiplier", config.odd_multiplier))
         # The swap policy changes outcomes for every column-associative cell.
         params.append(("protect_conventional", config.protect_conventional))
+    elif kind == "assocsweep":
+        ways = _parse_ways_label(label)
+        if ways is None:
+            raise ValueError(
+                f"unknown associativity-sweep cell label {label!r} (expected '<k>way')"
+            )
+        # Validate the sweep geometry eagerly so a bad label fails at
+        # grid-declaration time, not inside a worker.
+        config.geometry.with_fixed_sets(ways)
     elif kind in ("setassoc", "bounds"):
         if label in _WAYS_LABELS:
             ways = _WAYS_LABELS[label]
@@ -312,6 +346,9 @@ def execute_cell(
         if g.ways != 1:
             return simulate_set_associative(scheme, trace, g)
         return simulate_indexing(scheme, trace, g)
+    if cell.kind == "assocsweep":
+        gk = g.with_fixed_sets(cell.ways)
+        return simulate_set_associative(ModuloIndexing(gk), trace, gk)
     if cell.kind in ("setassoc", "bounds"):
         return _execute_bounds_cell(cell, trace, config)
     if cell.kind == "progassoc":
@@ -341,3 +378,99 @@ def timed_execute_cell(
     t0 = time.perf_counter()
     result = execute_cell(cell, config, trace_path, profile_path)
     return result, time.perf_counter() - t0
+
+
+# -- sweep-family kernel classification ------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """How one cell maps onto the shared stack-distance kernel.
+
+    ``signature`` names the cell's *set-mapping identity*: two cells of the
+    same workload with equal signatures see byte-identical ``(blocks,
+    indices)`` streams, so one :func:`~repro.core.fastsim.lru_stack_distances`
+    pass answers both — the exactness condition of the "assoc" batching
+    axis.  ``ways`` is the threshold applied to that pass and ``style``
+    ("direct" or "setassoc") the per-cell packaging convention
+    :func:`~repro.core.simulator.simulate_lru_sweep` must reproduce.
+    """
+
+    signature: tuple
+    ways: int
+    style: str
+
+
+def kernel_cell_spec(cell: SimCell, config: PaperConfig) -> KernelSpec | None:
+    """Classify a cell for the shared-kernel sweep path; ``None`` = not exact.
+
+    Only stateless-lookup LRU cells qualify (the Mattson inclusion property
+    holds for LRU alone).  The signature folds in everything that shapes
+    the per-access index stream: the scheme identity and its parameters,
+    the set count, and the block granularity.  Trainable schemes
+    (Givargis) fold in the profiling-run identity instead of the fitted
+    table — exact because families never mix workloads and the profiling
+    trace is a pure function of (workload, config).
+    """
+    if cell.policy != "lru":
+        return None
+    g = config.geometry
+    geo_sig = (g.num_sets, g.offset_bits, g.address_bits)
+    if cell.kind == "baseline":
+        style = "direct" if g.ways == 1 else "setassoc"
+        return KernelSpec(("modulo",) + geo_sig, g.ways, style)
+    if cell.kind == "indexing":
+        style = "direct" if g.ways == 1 else "setassoc"
+        if cell.label == "XOR":
+            return KernelSpec(("xor",) + geo_sig, g.ways, style)
+        if cell.label == "Odd_Multiplier":
+            return KernelSpec(
+                ("odd_multiplier", config.odd_multiplier) + geo_sig, g.ways, style
+            )
+        if cell.label == "Prime_Modulo":
+            return KernelSpec(("prime_modulo",) + geo_sig, g.ways, style)
+        if cell.label in _TRAINABLE_LABELS:
+            return KernelSpec(
+                (cell.label.lower(), config.profile_seed_offset) + geo_sig,
+                g.ways,
+                style,
+            )
+        return None
+    if cell.kind == "assocsweep":
+        # with_fixed_sets keeps num_sets (hence the mapping) equal to the
+        # base geometry's: every sweep point shares the base signature.
+        return KernelSpec(("modulo",) + geo_sig, cell.ways, "setassoc")
+    if cell.kind in ("setassoc", "bounds") and cell.label in _WAYS_LABELS:
+        # Equal-capacity k-way points: with_ways *changes* num_sets, so the
+        # signature differs per k — such cells never share a pass (they can
+        # still join the decode axis), but classifying them keeps the
+        # partition property total and uniformly tested.
+        gk = g.with_ways(_WAYS_LABELS[cell.label])
+        return KernelSpec(
+            ("modulo", gk.num_sets, gk.offset_bits, gk.address_bits),
+            gk.ways,
+            "setassoc",
+        )
+    return None
+
+
+def build_kernel_scheme(cell: SimCell, config: PaperConfig, profile_path=None):
+    """Build the (scheme, geometry) a kernel cell's per-cell path would use.
+
+    The family executor calls this on *one* representative member; equal
+    :class:`KernelSpec` signatures guarantee any member yields the same
+    index stream (and the scheme ``name``s that label the results are
+    geometry-independent class attributes, so model strings match too).
+    """
+    g = config.geometry
+    if cell.kind == "baseline":
+        return ModuloIndexing(g), g
+    if cell.kind == "indexing":
+        return _build_indexing_scheme(cell, config, profile_path), g
+    if cell.kind == "assocsweep":
+        gk = g.with_fixed_sets(cell.ways)
+        return ModuloIndexing(gk), gk
+    if cell.kind in ("setassoc", "bounds") and cell.label in _WAYS_LABELS:
+        gk = g.with_ways(_WAYS_LABELS[cell.label])
+        return ModuloIndexing(gk), gk
+    raise ValueError(f"cell ({cell.workload}, {cell.label}) is not a kernel cell")

@@ -1,0 +1,185 @@
+"""Sweep-family planning and batched execution.
+
+The figure grids re-simulate the same trace once per cell even when cells
+are near-duplicates of each other.  This module groups a planned cell list
+into *sweep families* — sets of cells provably answerable together — along
+two axes, and executes each family as one unit:
+
+``assoc`` (the Mattson axis)
+    Cells of one workload whose :class:`~.cells.KernelSpec` signatures are
+    equal share the exact per-access ``(blocks, indices)`` stream, so under
+    LRU one :func:`~repro.core.fastsim.lru_stack_distances` pass answers
+    every member by associativity thresholding
+    (:func:`~repro.core.simulator.simulate_lru_sweep`).  A whole fixed-sets
+    associativity sweep (the ``assocsweep`` cells of ``ext-assoc``, or the
+    CLI's ``sweep --ways 1,2,4,8``) costs ~one cell.
+
+``decode`` (the shared-trace axis)
+    Remaining cells of one workload are batched into a single execution
+    unit: the npz trace is decoded once per family (per worker process)
+    instead of once per scheduled cell, and each member then runs its
+    *unmodified* per-cell :func:`~.cells.execute_cell` path — exact by
+    construction, cheaper by task granularity and guaranteed trace-memo
+    locality on the process pool.
+
+``single``
+    The one-member fallback; detection is a *partition* — every planned
+    cell lands in exactly one family (a Hypothesis property test locks
+    this down).
+
+Batching is an execution detail, invisible to results and result-cache
+keys: each member is stored under its unchanged per-cell key, so warm
+caches, replay and the service's single-flight coalescing interoperate
+freely with batched runs (audited by ``TestCacheKeyAudit``).
+
+Failure attribution: :func:`execute_family` never raises.  It returns the
+members that completed plus, on failure, the ``(workload, label, message)``
+of the specific member that failed, so the engine can persist completed
+members' cache entries and re-raise a
+:class:`~.cells.CellExecutionError` naming the true culprit — a mid-batch
+failure must not poison the family.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ...core.simulator import SimulationResult, simulate_lru_sweep
+from ..config import PaperConfig
+from .cells import (
+    SimCell,
+    _trace_at,
+    build_kernel_scheme,
+    kernel_cell_spec,
+    timed_execute_cell,
+)
+
+__all__ = ["SweepFamily", "detect_families", "execute_family"]
+
+
+@dataclass(frozen=True)
+class SweepFamily:
+    """One batched execution unit: cells provably answerable together."""
+
+    #: ``"assoc"`` (shared stack-distance pass), ``"decode"`` (shared trace
+    #: decode, per-member execution) or ``"single"`` (fallback).
+    axis: str
+    workload: str
+    members: tuple[SimCell, ...]
+    #: The shared :class:`~.cells.KernelSpec` signature (``assoc`` only).
+    signature: tuple | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}/[{'+'.join(c.label for c in self.members)}]"
+
+
+def detect_families(
+    cells, config: PaperConfig
+) -> tuple[SweepFamily, ...]:
+    """Partition a cell list into sweep families.
+
+    Grouping never mixes workloads (hence traces), kernel signatures
+    (hence index mappings) or replacement policies: the ``assoc`` axis
+    groups by ``(workload, KernelSpec.signature)`` — the signature embeds
+    the scheme identity and the policy gate is inside
+    :func:`~.cells.kernel_cell_spec` — and the ``decode`` axis only ever
+    groups by workload, leaving each member's own execution path intact.
+
+    ``config.batch_sweeps=False`` degenerates to all-singleton families;
+    the ``assoc`` axis additionally requires ``config.engine == "auto"``
+    (the same discipline as every other vectorised fast path — forcing
+    ``"sequential"`` keeps per-cell reference execution).
+    """
+    cells = list(dict.fromkeys(cells))  # dedupe, preserving declaration order
+    if not config.batch_sweeps:
+        return tuple(SweepFamily("single", c.workload, (c,)) for c in cells)
+    assoc_members: set[SimCell] = set()
+    families: list[SweepFamily] = []
+    if config.engine == "auto":
+        kernel_groups: dict[tuple, list[SimCell]] = {}
+        for cell in cells:
+            spec = kernel_cell_spec(cell, config)
+            if spec is not None:
+                kernel_groups.setdefault(
+                    (cell.workload, spec.signature), []
+                ).append(cell)
+        for (workload, sig), members in kernel_groups.items():
+            if len(members) >= 2:
+                families.append(
+                    SweepFamily("assoc", workload, tuple(members), sig)
+                )
+                assoc_members.update(members)
+    decode_groups: dict[str, list[SimCell]] = {}
+    for cell in cells:
+        if cell not in assoc_members:
+            decode_groups.setdefault(cell.workload, []).append(cell)
+    for workload, members in decode_groups.items():
+        axis = "decode" if len(members) >= 2 else "single"
+        families.append(SweepFamily(axis, workload, tuple(members)))
+    return tuple(families)
+
+
+def execute_family(
+    family: SweepFamily,
+    config: PaperConfig,
+    trace_path=None,
+    profile_path=None,
+) -> tuple[
+    list[tuple[SimCell, SimulationResult, float]], tuple[str, str, str] | None
+]:
+    """Execute one family (the pool-worker entry point); never raises.
+
+    Returns ``(completed, failure)``: ``completed`` holds ``(cell, result,
+    seconds)`` for every member that finished, in member order; ``failure``
+    is ``None`` or the ``(workload, label, message)`` of the member that
+    failed.  On a decode-axis failure the members already simulated are
+    still returned (their cache entries stay storable) and later members
+    are not attempted; an assoc-axis failure happens inside the shared
+    pass, before any member completes, and is attributed to the family's
+    first member.  Messages travel as strings because worker exceptions
+    must not require cross-process pickling of arbitrary exception types
+    (the same discipline as :class:`~.cells.CellExecutionError`).
+    """
+    completed: list[tuple[SimCell, SimulationResult, float]] = []
+    if family.axis == "assoc":
+        first = family.members[0]
+        t0 = time.perf_counter()
+        try:
+            if trace_path is not None:
+                trace = _trace_at(trace_path, family.workload)
+            else:
+                from ..runner import workload_trace
+
+                trace = workload_trace(family.workload, config)
+            scheme, geometry = build_kernel_scheme(
+                first, config, profile_path if first.needs_profile else None
+            )
+            specs = [kernel_cell_spec(cell, config) for cell in family.members]
+            results = simulate_lru_sweep(
+                scheme, trace, geometry, [(s.ways, s.style) for s in specs]
+            )
+        except Exception as exc:  # attributed in the parent, never re-raised here
+            return completed, (first.workload, first.label, str(exc))
+        # The pass is shared; bill its wall time evenly across the members.
+        share = (time.perf_counter() - t0) / len(family.members)
+        completed.extend(
+            (cell, result, share)
+            for cell, result in zip(family.members, results)
+        )
+        return completed, None
+    # decode / single: one shared trace decode (via the per-process npz
+    # memo), then each member's unmodified per-cell path.
+    for cell in family.members:
+        try:
+            result, seconds = timed_execute_cell(
+                cell,
+                config,
+                trace_path,
+                profile_path if cell.needs_profile else None,
+            )
+        except Exception as exc:
+            return completed, (cell.workload, cell.label, str(exc))
+        completed.append((cell, result, seconds))
+    return completed, None

@@ -76,6 +76,7 @@ from ...core.simulator import SimulationResult
 from ..config import PaperConfig
 from .cache import ResultCache, cell_key
 from .cells import CellExecutionError, SimCell, timed_execute_cell
+from .families import SweepFamily, detect_families, execute_family
 
 __all__ = [
     "CellPlan",
@@ -150,6 +151,11 @@ class EngineStats:
     #: Cells actually simulated this run (== cache misses).
     cache_misses: int = 0
     wall_seconds: float = 0.0
+    #: Multi-member sweep families executed this run (see
+    #: :mod:`repro.experiments.engine.families`).
+    families_batched: int = 0
+    #: Cells answered through those batched families.
+    cells_batched: int = 0
     #: Per-cell simulation wall time, keyed ``"workload/label"``.
     cell_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -163,6 +169,8 @@ class EngineStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.wall_seconds += other.wall_seconds
+        self.families_batched += other.families_batched
+        self.cells_batched += other.cells_batched
         self.cell_seconds.update(other.cell_seconds)
         return self
 
@@ -173,13 +181,20 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "wall_seconds": round(self.wall_seconds, 6),
+            "families_batched": self.families_batched,
+            "cells_batched": self.cells_batched,
             "cell_seconds": {k: round(v, 6) for k, v in self.cell_seconds.items()},
         }
 
     def summary(self) -> str:
+        batched = (
+            f", {self.cells_batched} batched into {self.families_batched} families"
+            if self.families_batched
+            else ""
+        )
         return (
             f"{self.cells_total} cells: {self.cache_hits} cached, "
-            f"{self.cache_misses} simulated, jobs={self.jobs}, "
+            f"{self.cache_misses} simulated{batched}, jobs={self.jobs}, "
             f"{self.wall_seconds:.2f}s"
         )
 
@@ -207,6 +222,10 @@ class CellPlan:
     #: Content fingerprints backing the keys (diagnostics / parity tests).
     trace_fingerprints: dict[str, str]
     profile_fingerprints: dict[str, str]
+    #: Sweep-family partition of ``cells`` (see
+    #: :func:`~repro.experiments.engine.families.detect_families`) — an
+    #: execution plan only; keys above are per-cell and batching-invariant.
+    families: tuple[SweepFamily, ...] = ()
 
 
 def _warm_and_fingerprint(
@@ -290,6 +309,7 @@ def plan_cells(
         profile_paths={w: Path(p) for w, p in profile_paths.items()},
         trace_fingerprints=trace_fp,
         profile_fingerprints=profile_fp,
+        families=detect_families(cells, config),
     )
 
 
@@ -340,9 +360,73 @@ def run_cells(
 
     pool = _POOL_OVERRIDE.get()
     computed: dict[SimCell, tuple[SimulationResult, float]] = {}
+
+    def _store_partial() -> None:
+        # Persist what already finished before surfacing a family failure:
+        # a mid-batch failure must leave completed members' cache entries
+        # valid, not poison the whole family.
+        if result_cache is not None:
+            for done_cell, (done_result, _seconds) in computed.items():
+                result_cache.store(keys[done_cell], done_result)
+
+    def _settle_family(family: SweepFamily, family_completed, family_failure) -> None:
+        for member, member_result, member_seconds in family_completed:
+            computed[member] = (member_result, member_seconds)
+            _notify(member, cached=False)
+        if family_failure is not None:
+            workload, label, message = family_failure
+            _store_partial()
+            # The worker ships the failure as a string (arbitrary exception
+            # types must not need cross-process pickling); re-hydrate a
+            # cause so ``__cause__`` always carries the original message.
+            raise CellExecutionError(
+                f"experiment cell ({workload}, {label}) failed: {message}"
+            ) from RuntimeError(message)
+        stats.families_batched += 1
+        stats.cells_batched += len(family.members)
+
     if pending:
-        if pool is None and (jobs <= 1 or len(pending) == 1):
-            for cell in pending:
+        # Restrict the planned family partition to the cells still pending
+        # (cache hits drop out member-by-member); families reduced to one
+        # member fall back to the ordinary per-cell path.
+        pend = set(pending)
+        units: list[SweepFamily] = []
+        loose: list[SimCell] = []
+        for family in plan.families:
+            members = tuple(c for c in family.members if c in pend)
+            if len(members) >= 2:
+                units.append(
+                    SweepFamily(family.axis, family.workload, members, family.signature)
+                )
+            else:
+                loose.extend(members)
+        covered = {c for u in units for c in u.members} | set(loose)
+        loose.extend(dict.fromkeys(c for c in pending if c not in covered))
+
+        if pool is None and (jobs <= 1 or len(units) + len(loose) == 1):
+            for family in units:
+                t0_family = time.perf_counter()
+                family_completed, family_failure = execute_family(
+                    family,
+                    config,
+                    trace_paths.get(family.workload),
+                    profile_paths.get(family.workload),
+                )
+                _settle_family(family, family_completed, family_failure)
+                # Post-hoc budget, scaled by family size (one unit does the
+                # work of len(members) cells).
+                if cell_timeout is not None:
+                    elapsed = time.perf_counter() - t0_family
+                    budget = cell_timeout * len(family.members)
+                    if elapsed > budget:
+                        first = family.members[0]
+                        _store_partial()
+                        raise CellExecutionError(
+                            f"experiment cell ({first.workload}, {first.label}) "
+                            f"family of {len(family.members)} exceeded the "
+                            f"per-cell timeout ({elapsed:.3f}s > {budget:g}s)"
+                        )
+            for cell in loose:
                 try:
                     computed[cell] = timed_execute_cell(
                         cell,
@@ -366,41 +450,66 @@ def run_cells(
         else:
             owns_pool = pool is None
             if owns_pool:
-                pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+                pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, len(units) + len(loose))
+                )
             timed_out = False
             try:
-                futures = {
-                    cell: pool.submit(
+                futures: dict[Any, Any] = {}
+                for family in units:
+                    futures[family] = pool.submit(
+                        execute_family,
+                        family,
+                        config,
+                        trace_paths.get(family.workload),
+                        profile_paths.get(family.workload),
+                    )
+                for cell in loose:
+                    futures[cell] = pool.submit(
                         timed_execute_cell,
                         cell,
                         config,
                         trace_paths.get(cell.workload),
                         profile_paths.get(cell.workload) if cell.needs_profile else None,
                     )
-                    for cell in pending
-                }
-                for cell, future in futures.items():
+                for item, future in futures.items():
+                    if isinstance(item, SweepFamily):
+                        workload, label = item.members[0].workload, item.members[0].label
+                        budget = (
+                            cell_timeout * len(item.members)
+                            if cell_timeout is not None
+                            else None
+                        )
+                    else:
+                        workload, label = item.workload, item.label
+                        budget = cell_timeout
                     try:
-                        computed[cell] = future.result(timeout=cell_timeout)
+                        settled = future.result(timeout=budget)
                     except FutureTimeoutError:
                         timed_out = True
                         for f in futures.values():
                             f.cancel()
+                        if isinstance(item, SweepFamily):
+                            _store_partial()
                         raise CellExecutionError(
-                            f"experiment cell ({cell.workload}, {cell.label}) "
-                            f"exceeded the per-cell timeout ({cell_timeout:g}s)"
+                            f"experiment cell ({workload}, {label}) "
+                            f"exceeded the per-cell timeout ({budget:g}s)"
                         ) from None
                     except FutureCancelledError:
                         raise CellExecutionError(
-                            f"experiment cell ({cell.workload}, {cell.label}) "
+                            f"experiment cell ({workload}, {label}) "
                             f"was cancelled"
                         ) from None
                     except Exception as exc:
                         raise CellExecutionError(
-                            f"experiment cell ({cell.workload}, {cell.label}) "
+                            f"experiment cell ({workload}, {label}) "
                             f"failed in worker: {exc}"
                         ) from exc
-                    _notify(cell, cached=False)
+                    if isinstance(item, SweepFamily):
+                        _settle_family(item, settled[0], settled[1])
+                    else:
+                        computed[item] = settled
+                        _notify(item, cached=False)
             finally:
                 if owns_pool:
                     # On a timeout, abandon the pool without joining the hung

@@ -16,6 +16,11 @@ three programmable-associativity schemes are compared against
 All columns report % reduction in misses vs the direct-mapped baseline, so
 the table reads as "how much of the achievable headroom does each technique
 capture".
+
+Note the k-way columns here hold *capacity* fixed (``with_ways``), so each
+has a different set mapping and they can only share a trace decode (the
+"decode" sweep-family axis) — the fixed-sets Mattson sweep that shares one
+stack-distance pass lives in ``ext-assoc``.
 """
 
 from __future__ import annotations

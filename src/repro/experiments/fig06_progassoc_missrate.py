@@ -13,6 +13,10 @@ reduction.
 
 Both figures come from the same three sequential simulations per benchmark,
 so one runner computes them and the fig7 entry point reuses its cache.
+
+Under ``config.batch_sweeps`` each bench's four cells (baseline + three
+models) travel as one "decode" sweep family — one trace decode per bench
+per worker, unchanged per-cell execution paths, keys and results.
 """
 
 from __future__ import annotations

@@ -6,6 +6,10 @@ index function is XOR, odd-multiplier or prime-modulo, measured as
 column-associative cache.  Paper shape: odd-multiplier best on average;
 some benchmarks regress under non-conventional indexes (their text calls
 out calculix and sjeng).
+
+Under ``config.batch_sweeps`` each bench's four column-associative cells
+form one "decode" sweep family — one trace decode per bench per worker,
+with per-cell execution, keys and results untouched.
 """
 
 from __future__ import annotations

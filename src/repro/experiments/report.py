@@ -84,10 +84,16 @@ class ExperimentResult:
         s = self.engine_stats
         if not s:
             return ""
+        batched = (
+            f", {s.get('cells_batched', 0)} batched into "
+            f"{s.get('families_batched', 0)} families"
+            if s.get("families_batched")
+            else ""
+        )
         return (
             f"engine: {s.get('cells_total', 0)} cells, "
             f"{s.get('cache_hits', 0)} cached, "
-            f"{s.get('cache_misses', 0)} simulated, "
+            f"{s.get('cache_misses', 0)} simulated{batched}, "
             f"jobs={s.get('jobs', 1)}, {s.get('wall_seconds', 0.0):.2f}s"
         )
 

@@ -40,8 +40,9 @@ Error codes
 ``internal``     unexpected server-side failure (cell errors included).
 
 ``config`` overrides are whitelisted (see :data:`CONFIG_OVERRIDES`): a
-request may change trace length, seed, scale, engine selection or the
-cell timeout, but never cache locations or worker counts — those belong
+request may change trace length, seed, scale, engine selection, sweep
+batching or the cell timeout, but never cache locations or worker
+counts — those belong
 to the operator who started the daemon.
 """
 
@@ -105,6 +106,7 @@ CONFIG_OVERRIDES: dict[str, Callable[[Any], Any]] = {
     "seed": int,
     "workload_scale": float,
     "engine": str,
+    "batch_sweeps": bool,
     "cell_timeout": lambda v: None if v is None else float(v),
     "profile_seed_offset": int,
     "odd_multiplier": int,

@@ -400,6 +400,9 @@ class ReproServer:
         # the terminal result frame goes out.
         events.put_nowait(None)
         await pump_task
+        engine_stats = getattr(result, "engine_stats", None) or {}
+        self.stats.families_batched += int(engine_stats.get("families_batched", 0))
+        self.stats.cells_batched += int(engine_stats.get("cells_batched", 0))
         return {
             "experiment": protocol.experiment_result_to_wire(result),
             "meta": {"experiment": eid},

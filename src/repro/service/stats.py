@@ -107,6 +107,11 @@ class ServiceStats:
     cells_cancelled: int = 0
     #: Waits that hit their per-request deadline.
     deadline_timeouts: int = 0
+    #: Multi-member sweep families executed by experiment runs (see
+    #: :mod:`repro.experiments.engine.families`).
+    families_batched: int = 0
+    #: Cells answered through those batched families.
+    cells_batched: int = 0
 
     #: Latency histograms per request type ("cell", "experiment", ...).
     latency: dict[str, LatencyHistogram] = field(default_factory=dict)
@@ -172,6 +177,8 @@ class ServiceStats:
                 "cancelled": self.cells_cancelled,
                 "deadline_timeouts": self.deadline_timeouts,
                 "cache_hit_ratio": round(self.cache_hit_ratio, 6),
+                "families_batched": self.families_batched,
+                "cells_batched": self.cells_batched,
             },
             "latency": {k: h.as_dict() for k, h in sorted(self.latency.items())},
         }

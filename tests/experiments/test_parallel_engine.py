@@ -320,6 +320,48 @@ class TestCacheKeyAudit:
         res, warm = run_cells(seq_cells, seq_cfg, jobs=1, result_cache=cache)
         assert warm.cache_hits == 1 and warm.cache_misses == 0
 
+    def test_batch_sweeps_is_not_in_keys(self, config):
+        """Batching is an execution knob; batched and per-cell runs are
+        bit-identical, so they must share cache entries."""
+        for kind, label in [
+            ("baseline", "baseline"),
+            ("indexing", "XOR"),
+            ("assocsweep", "4way"),
+            ("progassoc", "Column_associative"),
+        ]:
+            batched = make_cell(kind, "crc", label, config)
+            plain = make_cell(
+                kind, "crc", label, replace(config, batch_sweeps=False)
+            )
+            assert batched == plain, (kind, label)
+            assert batched.params == plain.params, (kind, label)
+            assert self._key(batched, config) == self._key(plain, config)
+
+    def test_warm_cache_survives_batching_switch(self, config):
+        """Entries written by a batched family must serve the per-cell run
+        and vice versa — in both directions, zero recomputation."""
+        labels = [("baseline", "baseline")] + [
+            ("assocsweep", lab) for lab in ("2way", "4way", "8way")
+        ]
+        cells = [make_cell(kind, "crc", lab, config) for kind, lab in labels]
+        cache = ResultCache(config.result_cache_path)
+        # Batched cold run: one Mattson family answers all four cells.
+        _, cold = run_cells(cells, config, jobs=1, result_cache=cache)
+        assert cold.cache_misses == len(cells)
+        assert cold.families_batched == 1 and cold.cells_batched == len(cells)
+        # Per-cell warm run against the batched entries: all hits.
+        plain_cfg = replace(config, batch_sweeps=False)
+        plain_cells = [make_cell(kind, "crc", lab, plain_cfg) for kind, lab in labels]
+        _, warm = run_cells(plain_cells, plain_cfg, jobs=1, result_cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (len(cells), 0)
+        assert warm.families_batched == 0
+        # And the reverse direction, from a fresh cache.
+        reverse = ResultCache(config.result_cache_path.parent / "rc_reverse")
+        _, cold2 = run_cells(plain_cells, plain_cfg, jobs=1, result_cache=reverse)
+        assert cold2.cache_misses == len(cells) and cold2.cells_batched == 0
+        _, warm2 = run_cells(cells, config, jobs=1, result_cache=reverse)
+        assert (warm2.cache_hits, warm2.cache_misses) == (len(cells), 0)
+
 
 class TestTracePathTransfer:
     """Workers consume npz paths, not pickled address arrays."""

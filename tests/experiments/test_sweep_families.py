@@ -1,0 +1,228 @@
+"""Sweep-family detection and failure-attribution tests.
+
+Two contracts from the sweep-batching PR:
+
+* **Partition** — :func:`~repro.experiments.engine.families.detect_families`
+  is a total partition of the (deduplicated) planned cell list: every cell
+  lands in exactly one family, no family mixes workloads (hence traces),
+  ``assoc`` families share one :class:`~.cells.KernelSpec` signature and
+  are all-LRU, and turning ``batch_sweeps`` off degenerates to singletons.
+  Locked with a Hypothesis property over arbitrary cell grids.
+
+* **Failure attribution** — a member failing mid-family surfaces as
+  :class:`~repro.experiments.CellExecutionError` naming the *specific*
+  cell (with a chained cause), and members that completed before the
+  failure keep their result-cache entries, so a retry resumes warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import CellExecutionError, PaperConfig
+from repro.experiments.engine import (
+    ResultCache,
+    SimCell,
+    detect_families,
+    kernel_cell_spec,
+    make_cell,
+    plan_cells,
+    run_cells,
+)
+
+BASE_CONFIG = PaperConfig()
+
+#: Valid (kind, label) combinations spanning every cell kind the engine knows.
+CELL_SHAPES = [
+    ("baseline", "baseline"),
+    ("indexing", "XOR"),
+    ("indexing", "Odd_Multiplier"),
+    ("indexing", "Prime_Modulo"),
+    ("indexing", "Givargis"),
+    ("progassoc", "Adaptive_Cache"),
+    ("progassoc", "B_Cache"),
+    ("progassoc", "Column_associative"),
+    ("colassoc", "ColAssoc_Base"),
+    ("colassoc", "ColAssoc_XOR"),
+    ("setassoc", "2way"),
+    ("setassoc", "4way"),
+    ("bounds", "8way"),
+    ("bounds", "FullAssoc"),
+    ("bounds", "Belady"),
+    ("bounds", "Victim8"),
+    ("assocsweep", "2way"),
+    ("assocsweep", "4way"),
+    ("assocsweep", "8way"),
+    ("assocsweep", "16way"),
+]
+
+WORKLOADS = ["crc", "fft", "sha", "qsort"]
+
+cell_strategy = st.builds(
+    lambda shape, workload: make_cell(shape[0], workload, shape[1], BASE_CONFIG),
+    st.sampled_from(CELL_SHAPES),
+    st.sampled_from(WORKLOADS),
+)
+
+grid_strategy = st.lists(cell_strategy, min_size=0, max_size=30)
+
+config_strategy = st.builds(
+    lambda engine, batch: replace(BASE_CONFIG, engine=engine, batch_sweeps=batch),
+    st.sampled_from(["auto", "sequential"]),
+    st.booleans(),
+)
+
+
+class TestPartitionProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(cells=grid_strategy, config=config_strategy)
+    def test_families_partition_the_cell_list(self, cells, config):
+        families = detect_families(cells, config)
+        unique = list(dict.fromkeys(cells))
+        # Exactly-once coverage: the family members, flattened, are a
+        # permutation of the deduplicated input with no repeats.
+        flattened = [c for fam in families for c in fam.members]
+        assert len(flattened) == len(unique)
+        assert set(flattened) == set(unique)
+        for fam in families:
+            assert fam.members, "no empty families"
+            # Never mixes traces: one workload per family.
+            assert {c.workload for c in fam.members} == {fam.workload}
+            if fam.axis == "single":
+                assert len(fam.members) == 1
+            else:
+                assert len(fam.members) >= 2
+            if fam.axis == "assoc":
+                # The Mattson axis: all-LRU, one shared kernel signature.
+                specs = [kernel_cell_spec(c, config) for c in fam.members]
+                assert all(s is not None for s in specs)
+                assert {s.signature for s in specs} == {fam.signature}
+                assert all(c.policy == "lru" for c in fam.members)
+            else:
+                assert fam.signature is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells=grid_strategy)
+    def test_batching_disabled_degenerates_to_singletons(self, cells):
+        config = replace(BASE_CONFIG, batch_sweeps=False)
+        families = detect_families(cells, config)
+        assert all(f.axis == "single" and len(f.members) == 1 for f in families)
+        assert [f.members[0] for f in families] == list(dict.fromkeys(cells))
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells=grid_strategy)
+    def test_sequential_engine_never_forms_assoc_families(self, cells):
+        config = replace(BASE_CONFIG, engine="sequential", batch_sweeps=True)
+        families = detect_families(cells, config)
+        assert all(f.axis in ("decode", "single") for f in families)
+
+
+class TestDetectionShapes:
+    def test_fixed_sets_ladder_is_one_assoc_family(self):
+        """The ext-assoc grid: baseline + assocsweep cells share one
+        modulo mapping, hence one stack-distance pass."""
+        cells = [make_cell("baseline", "crc", "baseline", BASE_CONFIG)] + [
+            make_cell("assocsweep", "crc", lab, BASE_CONFIG)
+            for lab in ("2way", "4way", "8way")
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "assoc" and len(fam.members) == 4
+        assert fam.name == "crc/[baseline+2way+4way+8way]"
+
+    def test_capacity_fixed_kway_cells_never_share_a_pass(self):
+        """ext-bounds' k-way columns hold capacity fixed (``with_ways``), so
+        their set mappings differ — they may share a decode, never a kernel."""
+        cells = [
+            make_cell("bounds", "crc", lab, BASE_CONFIG) for lab in ("2way", "4way")
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "decode"
+
+    def test_workloads_are_never_mixed(self):
+        cells = [
+            make_cell("assocsweep", w, lab, BASE_CONFIG)
+            for w in ("crc", "fft")
+            for lab in ("2way", "4way")
+        ]
+        fams = detect_families(cells, BASE_CONFIG)
+        assert sorted((f.axis, f.workload) for f in fams) == [
+            ("assoc", "crc"),
+            ("assoc", "fft"),
+        ]
+
+    def test_non_kernel_cells_ride_the_decode_axis(self):
+        cells = [
+            make_cell("progassoc", "crc", "B_Cache", BASE_CONFIG),
+            make_cell("colassoc", "crc", "ColAssoc_Base", BASE_CONFIG),
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "decode" and fam.signature is None
+
+
+REFS = 3000
+
+
+@pytest.fixture
+def config(tmp_path) -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=REFS,
+        workload_scale=0.05,
+        trace_cache_dir=tmp_path / "traces",
+    )
+
+
+class TestMidBatchFailure:
+    def _grid_with_bad_tail(self, config):
+        good = [
+            make_cell("baseline", "crc", "baseline", config),
+            make_cell("indexing", "crc", "XOR", config),
+        ]
+        bad = SimCell(kind="progassoc", workload="crc", label="Nonexistent_Model")
+        return good, bad
+
+    def test_failure_names_cell_and_keeps_completed_entries(self, config):
+        good, bad = self._grid_with_bad_tail(config)
+        cache = ResultCache(config.result_cache_path)
+        with pytest.raises(CellExecutionError) as exc:
+            run_cells(good + [bad], config, jobs=1, result_cache=cache)
+        assert "(crc, Nonexistent_Model)" in str(exc.value)
+        assert exc.value.__cause__ is not None
+        # The two members that completed before the failure must have been
+        # persisted under their unchanged per-cell keys...
+        plan = plan_cells(good, config, jobs=1)
+        for cell in good:
+            assert cache.load(plan.keys[cell]) is not None, cell.label
+        # ...so a retry of the good cells resumes fully warm.
+        _, stats = run_cells(good, config, jobs=1, result_cache=cache)
+        assert (stats.cache_hits, stats.cache_misses) == (2, 0)
+
+    def test_failure_on_the_pool_path(self, config):
+        good, bad = self._grid_with_bad_tail(config)
+        cache = ResultCache(config.result_cache_path)
+        # Two units (a crc decode family + an fft loose cell) + jobs=2 →
+        # the ProcessPoolExecutor path; the bad label explodes in a worker.
+        cells = good + [bad, make_cell("baseline", "fft", "baseline", config)]
+        with pytest.raises(CellExecutionError) as exc:
+            run_cells(cells, config, jobs=2, result_cache=cache)
+        assert "(crc, Nonexistent_Model)" in str(exc.value)
+        assert exc.value.__cause__ is not None
+        plan = plan_cells(good, config, jobs=1)
+        for cell in good:
+            assert cache.load(plan.keys[cell]) is not None, cell.label
+
+    def test_assoc_family_failure_attributed_to_first_member(self, config, monkeypatch):
+        cells = [make_cell("assocsweep", "crc", lab, config) for lab in ("2way", "4way")]
+        monkeypatch.setattr(
+            "repro.experiments.engine.families.simulate_lru_sweep",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("kernel exploded")),
+        )
+        with pytest.raises(CellExecutionError) as exc:
+            run_cells(cells, config, jobs=1)
+        assert "(crc, 2way)" in str(exc.value)
+        assert "kernel exploded" in str(exc.value)
+        assert exc.value.__cause__ is not None

@@ -144,3 +144,56 @@ class TestBehaviouralParity:
         result = run_experiment("fig1", service_config)
         assert result.engine_stats["cache_misses"] == 0
         assert result.engine_stats["cache_hits"] == result.engine_stats["cells_total"]
+
+
+class TestSweepBatchingParity:
+    """Batching is invisible to keys, so batched and per-cell work must
+    interchange freely across the wire/in-process boundary."""
+
+    LADDER = [("baseline", "baseline")] + [
+        ("assocsweep", lab) for lab in ("2way", "4way", "8way")
+    ]
+
+    def test_batch_sweeps_override_does_not_shift_keys(self, service_config):
+        req = {"type": "cell", "kind": "assocsweep", "workload": "fft", "label": "4way"}
+        cell_a, cfg_a = normalize_cell_request(req, service_config)
+        cell_b, cfg_b = normalize_cell_request(
+            {**req, "config": {"batch_sweeps": False}}, service_config
+        )
+        assert cell_a == cell_b
+        key_a = plan_cells([cell_a], cfg_a, jobs=1).keys[cell_a]
+        key_b = plan_cells([cell_b], cfg_b, jobs=1).keys[cell_b]
+        assert key_a == key_b
+
+    def test_per_cell_submissions_serve_batched_run(self, server, service_config):
+        """Cells submitted over the wire with batching off must be found by
+        an in-process batched run — pure cache hits, nothing re-simulated."""
+        with server.client() as client:
+            for kind, label in self.LADDER:
+                meta = client.submit_cell(
+                    kind, "fft", label, config={"batch_sweeps": False}
+                )["meta"]
+                assert meta["cache_hit"] is False  # fresh tmp cache
+        cells = [make_cell(kind, "fft", label, service_config) for kind, label in self.LADDER]
+        _, stats = run_cells(cells, service_config, jobs=1)
+        assert (stats.cache_hits, stats.cache_misses) == (len(self.LADDER), 0)
+
+    def test_batched_run_serves_per_cell_submissions(self, server, service_config):
+        """And the reverse: a batched in-process Mattson family warms the
+        cache for every later wire submission, batched or not."""
+        cells = [make_cell(kind, "crc", label, service_config) for kind, label in self.LADDER]
+        _, stats = run_cells(cells, service_config, jobs=1)
+        assert stats.families_batched == 1 and stats.cells_batched == len(cells)
+        with server.client() as client:
+            for kind, label in self.LADDER:
+                meta = client.submit_cell(
+                    kind, "crc", label, config={"batch_sweeps": False}
+                )["meta"]
+                assert meta["cache_hit"] is True, label
+
+    def test_service_stats_report_batched_families(self, server):
+        with server.client() as client:
+            client.run_experiment("ext-assoc")
+            cells = client.stats()["cells"]
+        assert cells["families_batched"] > 0
+        assert cells["cells_batched"] > cells["families_batched"]
