@@ -1,0 +1,303 @@
+"""Cluster scaling canaries: distinct-key load over 1/2/4 workers.
+
+Proves the router actually *scales* rather than merely forwarding: a fixed
+batch of ``N_CELLS`` distinct-key cells (distinct ``odd_multiplier``
+overrides → distinct content keys) is pushed through a router in front of
+1, 2 and 4 workers, and the 2-/4-worker runs must beat the 1-worker run by
+the ISSUE's gates (≥1.7× and ≥3.0×).
+
+On a small CI box the simulations themselves are too cheap (and share one
+CPU), so worker capacity is made explicit with the ``cell_delay`` config
+knob: each cell occupies a worker slot for ``CELL_DELAY`` seconds, making
+a worker's throughput ``SLOTS / CELL_DELAY`` cells/s — the standard
+service-time model for load-generator benches.  Keys are pre-balanced
+across the ring (the load-generator knows the placement function), so the
+measured quantity is pure capacity scaling, not placement luck.
+
+A fourth canary prices **cross-node warm hits**: a fresh cluster sharing
+only the shared result store re-requests the 2-worker batch and must
+answer every key without simulating anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.experiments import PaperConfig
+from repro.experiments.engine import cell_key, trace_fingerprint
+from repro.experiments.runner import workload_trace
+from repro.service import ReproServer, ServiceClient
+
+#: Tiny simulation + explicit service time: the canaries measure capacity.
+CLUSTER_REFS = 1500
+CLUSTER_SCALE = 0.05
+CELL_DELAY = 0.25
+SLOTS = 4
+N_CELLS = 32
+WORKLOAD = "fft"
+
+#: Scaling gates (ISSUE 7 acceptance criteria).
+MIN_SPEEDUP_2W = 1.7
+MIN_SPEEDUP_4W = 3.0
+
+#: Cross-test state: 1-worker baseline time, and the 2-worker run's shared
+#: store + key batch for the warm-hit canary.
+_STATE: dict[str, object] = {}
+_multiplier_counter = [101]
+
+
+def _fresh_multipliers(n: int) -> list[int]:
+    """``n`` odd multipliers never used before in this process (cold keys)."""
+    out = []
+    for _ in range(n):
+        out.append(_multiplier_counter[0])
+        _multiplier_counter[0] += 2
+    return out
+
+
+class _Daemon:
+    """One server on a private event-loop thread (bench-local helper)."""
+
+    def __init__(self, server):
+        self.server = server
+        self._started = threading.Event()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(60), "daemon did not start"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            await self.server.serve_forever()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._started.set()
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def addr(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+    def stop(self) -> None:
+        import contextlib
+
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self.server._stopping.set)
+        self._thread.join(60)
+
+
+class BenchCluster:
+    """Router + N workers with per-node caches and a shared result store."""
+
+    def __init__(self, root: Path, config: PaperConfig, n_workers: int,
+                 shared_dir: Path | None = None):
+        self.shared_dir = shared_dir or root / "shared-results"
+        self.workers = [
+            _Daemon(
+                ReproServer(
+                    replace(
+                        config,
+                        trace_cache_dir=root / f"w{i}" / "traces",
+                        result_store="shared",
+                        shared_store_dir=self.shared_dir,
+                        cell_delay=CELL_DELAY,
+                    ),
+                    port=0,
+                    workers=SLOTS,
+                    use_processes=False,
+                )
+            )
+            for i in range(n_workers)
+        ]
+        self.router = _Daemon(
+            ClusterRouter(
+                [w.addr for w in self.workers],
+                replace(
+                    config,
+                    trace_cache_dir=root / "router" / "traces",
+                    use_result_cache=False,
+                ),
+                port=0,
+                probe_interval=0.5,
+            )
+        )
+
+    def warm(self) -> None:
+        """Pay every trace-generation cost outside the measured region."""
+        for worker in self.workers:
+            with ServiceClient("127.0.0.1", worker.port) as client:
+                client.submit_cell("baseline", WORKLOAD, "baseline")
+        with ServiceClient("127.0.0.1", self.router.port) as client:
+            client.submit_cell("baseline", WORKLOAD, "baseline")
+
+    def balanced_multipliers(self, config: PaperConfig, per_worker: int) -> list[int]:
+        """Odd multipliers whose keys spread exactly evenly over the ring."""
+        ring = self.router.server.ring
+        trace_fp = trace_fingerprint(workload_trace(WORKLOAD, config))
+        want = {node: per_worker for node in ring.nodes}
+        chosen: list[int] = []
+        while any(want.values()):
+            [m] = _fresh_multipliers(1)
+            key = cell_key(
+                "indexing",
+                "Odd_Multiplier",
+                (("odd_multiplier", m),),
+                config.geometry,
+                trace_fp,
+            )
+            owner = ring.owner(key)
+            if want[owner] > 0:
+                want[owner] -= 1
+                chosen.append(m)
+        return chosen
+
+    def run_load(self, multipliers: list[int]) -> int:
+        """Submit one distinct-key cell per multiplier, fully concurrent."""
+
+        def one(m: int) -> bool:
+            with ServiceClient(
+                "127.0.0.1", self.router.port, timeout=300.0
+            ) as client:
+                reply = client.submit_cell(
+                    "indexing",
+                    WORKLOAD,
+                    "Odd_Multiplier",
+                    config={"odd_multiplier": m},
+                )
+                return bool(reply["result"])
+
+        with ThreadPoolExecutor(max_workers=len(multipliers)) as pool:
+            return sum(pool.map(one, multipliers))
+
+    def total_executed(self) -> int:
+        return sum(w.server.stats.cells_executed for w in self.workers)
+
+    def stop(self) -> None:
+        self.router.stop()
+        for worker in self.workers:
+            worker.stop()
+
+
+@pytest.fixture
+def cluster_config(tmp_path) -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=CLUSTER_REFS,
+        workload_scale=CLUSTER_SCALE,
+        jobs=1,
+        trace_cache_dir=tmp_path / "plan-traces",
+    )
+
+
+def _measure(benchmark, cluster: BenchCluster, multipliers: list[int]) -> float:
+    warm_executed = cluster.total_executed()
+    ok = benchmark.pedantic(
+        lambda: cluster.run_load(multipliers), rounds=1, iterations=1
+    )
+    assert ok == N_CELLS, "not every distinct-key cell completed"
+    # Distinct keys: every measured cell really simulated, exactly once.
+    assert cluster.total_executed() - warm_executed == N_CELLS
+    seconds = benchmark.stats.stats.min
+    benchmark.extra_info["cells"] = N_CELLS
+    benchmark.extra_info["cells_per_second"] = round(N_CELLS / seconds, 2)
+    benchmark.extra_info["cell_delay"] = CELL_DELAY
+    benchmark.extra_info["worker_slots"] = SLOTS
+    return seconds
+
+
+def test_cluster_scaling_1_worker(benchmark, cluster_config, tmp_path):
+    cluster = BenchCluster(tmp_path, cluster_config, 1)
+    try:
+        cluster.warm()
+        ms = cluster.balanced_multipliers(cluster_config, N_CELLS)
+        _STATE["t1"] = _measure(benchmark, cluster, ms)
+    finally:
+        cluster.stop()
+
+
+def test_cluster_scaling_2_workers(benchmark, cluster_config, tmp_path):
+    cluster = BenchCluster(tmp_path, cluster_config, 2)
+    try:
+        cluster.warm()
+        ms = cluster.balanced_multipliers(cluster_config, N_CELLS // 2)
+        t2 = _measure(benchmark, cluster, ms)
+        _STATE["warm_shared_dir"] = cluster.shared_dir
+        _STATE["warm_multipliers"] = ms
+        # Give the write-behind publishers a moment to drain so the warm
+        # canary below sees every key in the shared tier.
+        deadline = time.time() + 30
+        while sum(1 for _ in Path(cluster.shared_dir).glob("*.npz")) < N_CELLS:
+            assert time.time() < deadline, "shared-store publish did not drain"
+            time.sleep(0.05)
+    finally:
+        cluster.stop()
+    t1 = _STATE.get("t1")
+    if isinstance(t1, float):  # run as a module: the scaling gate applies
+        speedup = t1 / t2
+        benchmark.extra_info["speedup_vs_1_worker"] = round(speedup, 2)
+        assert speedup >= MIN_SPEEDUP_2W, (
+            f"2-worker speedup {speedup:.2f}x below the {MIN_SPEEDUP_2W}x gate"
+        )
+
+
+def test_cluster_scaling_4_workers(benchmark, cluster_config, tmp_path):
+    cluster = BenchCluster(tmp_path, cluster_config, 4)
+    try:
+        cluster.warm()
+        ms = cluster.balanced_multipliers(cluster_config, N_CELLS // 4)
+        t4 = _measure(benchmark, cluster, ms)
+    finally:
+        cluster.stop()
+    t1 = _STATE.get("t1")
+    if isinstance(t1, float):
+        speedup = t1 / t4
+        benchmark.extra_info["speedup_vs_1_worker"] = round(speedup, 2)
+        assert speedup >= MIN_SPEEDUP_4W, (
+            f"4-worker speedup {speedup:.2f}x below the {MIN_SPEEDUP_4W}x gate"
+        )
+
+
+def test_cluster_cross_node_warm_hits(benchmark, cluster_config, tmp_path):
+    """A fresh node sharing only the store answers the batch without simulating."""
+    shared = _STATE.get("warm_shared_dir")
+    ms = _STATE.get("warm_multipliers")
+    if not isinstance(shared, Path) or not isinstance(ms, list):
+        pytest.skip("requires the 2-worker canary's shared store (run the module)")
+    cluster = BenchCluster(tmp_path, cluster_config, 1, shared_dir=shared)
+    try:
+        cluster.warm()
+        warm_executed = cluster.total_executed()
+        ok = benchmark.pedantic(
+            lambda: cluster.run_load(ms), rounds=1, iterations=1
+        )
+        assert ok == N_CELLS
+        # The whole batch came out of the shared tier: zero simulations.
+        assert cluster.total_executed() == warm_executed, (
+            "cross-node warm keys were re-simulated"
+        )
+        seconds = benchmark.stats.stats.min
+        benchmark.extra_info["cells"] = N_CELLS
+        benchmark.extra_info["cells_per_second"] = round(N_CELLS / seconds, 2)
+        # Warm hits skip the service-time floor entirely — the batch must
+        # finish far faster than even one cold delay round.
+        assert seconds < N_CELLS * CELL_DELAY / SLOTS
+    finally:
+        cluster.stop()

@@ -1,0 +1,182 @@
+"""One multiplexed persistent connection from the router to a worker.
+
+A :class:`WorkerLink` owns a single TCP connection speaking the service's
+JSON-lines protocol and multiplexes any number of concurrent router-side
+requests over it: each request gets a link-local id, a background reader
+task dispatches incoming frames by id (event frames to the request's
+callback, the terminal frame resolving its future).
+
+Transport failures are the *failover signal*: when the connection drops —
+refused dial, reset, EOF mid-request — every outstanding request on the
+link fails with :class:`WorkerDown`, and the router re-routes those keys
+to the next node in ring-preference order.  Structured errors *from* the
+worker (``overloaded``/``timeout``/``bad_request``/``internal``) are not
+transport failures: the worker is alive and answered, so they propagate
+to the client unchanged rather than triggering failover.
+
+A link reconnects lazily: the next ``request``/``probe`` after a failure
+dials again, so a rebooted worker rejoins the ring as soon as the health
+prober's probe succeeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Callable
+
+from ..service.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = ["WorkerDown", "WorkerLink"]
+
+
+class WorkerDown(ConnectionError):
+    """The worker's transport failed; the key should fail over."""
+
+    def __init__(self, node: str, reason: str):
+        super().__init__(f"worker {node} is down: {reason}")
+        self.node = node
+        self.reason = reason
+
+
+class WorkerLink:
+    """Multiplexed JSON-lines connection to one worker daemon."""
+
+    def __init__(self, node: str, host: str, port: int):
+        self.node = node
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._connect_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
+        #: request id → (future for the terminal frame, event callback).
+        self._pending: dict[
+            str,
+            tuple[asyncio.Future, Callable[[dict[str, Any]], None] | None],
+        ] = {}
+        self._next_id = 0
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # -- connection lifecycle -------------------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        if self._closed:
+            raise WorkerDown(self.node, "link closed")
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_FRAME_BYTES + 1024
+                )
+            except OSError as exc:
+                raise WorkerDown(self.node, f"connect failed: {exc}") from exc
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.create_task(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        reason = "connection closed by worker"
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except Exception:
+                    continue  # an undecodable frame is dropped, not fatal
+                rid = frame.get("id")
+                entry = self._pending.get(rid)
+                if entry is None:
+                    continue
+                future, on_event = entry
+                if frame.get("type") == "event":
+                    if on_event is not None:
+                        with contextlib.suppress(Exception):
+                            on_event(frame)
+                    continue
+                self._pending.pop(rid, None)
+                if not future.done():
+                    future.set_result(frame)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            reason = f"read failed: {exc}"
+        except asyncio.CancelledError:
+            reason = "link reset"
+        finally:
+            self._teardown(reason)
+
+    def _teardown(self, reason: str) -> None:
+        """Drop the transport and fail every outstanding request."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+        pending, self._pending = self._pending, {}
+        for future, _cb in pending.values():
+            if not future.done():
+                future.set_exception(WorkerDown(self.node, reason))
+
+    def reset(self, reason: str = "probe failed") -> None:
+        """Force-drop the connection (health prober ejecting the node)."""
+        task = self._reader_task
+        self._reader_task = None
+        if task is not None and not task.done():
+            task.cancel()
+        self._teardown(reason)
+
+    async def close(self) -> None:
+        self._closed = True
+        self.reset("link closed")
+
+    # -- requests ---------------------------------------------------------------------
+
+    async def request(
+        self,
+        payload: dict[str, Any],
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Send one frame; await its terminal frame (result *or* error).
+
+        Raises :class:`WorkerDown` on any transport failure, and
+        :class:`asyncio.TimeoutError` when ``timeout`` elapses first (the
+        caller decides whether a slow answer means a dead worker).
+        """
+        await self._ensure_connected()
+        self._next_id += 1
+        rid = f"x{self._next_id}"
+        payload = {**payload, "id": rid}
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[rid] = (future, on_event)
+        try:
+            writer = self._writer
+            if writer is None:
+                raise WorkerDown(self.node, "connection lost before send")
+            try:
+                async with self._write_lock:
+                    writer.write(encode_frame(payload))
+                    await writer.drain()
+            except (ConnectionError, OSError) as exc:
+                raise WorkerDown(self.node, f"send failed: {exc}") from exc
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout)
+            return await future
+        finally:
+            self._pending.pop(rid, None)
+
+    async def probe(self, timeout: float = 2.0) -> dict[str, Any]:
+        """A bounded ``health`` round-trip (the liveness check)."""
+        try:
+            frame = await self.request({"type": "health"}, timeout=timeout)
+        except asyncio.TimeoutError as exc:
+            raise WorkerDown(self.node, "health probe timed out") from exc
+        if not frame.get("ok"):
+            raise WorkerDown(self.node, "health probe answered an error")
+        return frame.get("health", {})

@@ -1,0 +1,136 @@
+"""Consistent-hash ring: deterministic result-cache-key → worker placement.
+
+Classic Karger-style consistent hashing with virtual nodes.  Every node is
+hashed onto ``vnodes`` positions of a 2^64 ring (SHA-256 of ``"node#i"``,
+truncated); a key is owned by the first node position clockwise of the
+key's own hash.  The construction gives the three properties the router
+needs, each locked down by Hypothesis tests (``tests/cluster/test_ring.py``):
+
+balance
+    With enough virtual nodes the per-node share of keyspace concentrates
+    around ``1/len(nodes)`` — no worker becomes a hot shard.
+
+minimal movement
+    Adding or removing a node only reassigns the keys that move to/from
+    that node; placement of every other key is untouched.  This is what
+    makes failover cheap: ejecting a dead worker re-routes *only* its keys.
+
+determinism
+    Placement depends on nothing but SHA-256 — no process-seeded ``hash()``,
+    no iteration order — so every router replica, worker, and test process
+    agrees on the key → node map without coordination.
+
+Failover uses :meth:`HashRing.preference`: the distinct-node order walking
+clockwise from the key.  Membership is static (the ``--workers`` flag);
+*liveness* is layered on top by filtering the preference list against the
+currently-alive set (``owner(key, alive=...)``), which inherits minimal
+movement on ejection **and** rejoin for free — no ring rebuild, ever.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable, Sequence
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: Virtual nodes per physical node.  128 keeps the max/mean keyspace-share
+#: ratio comfortably under 1.5 for small clusters (see the balance test)
+#: while ring construction stays microseconds.
+DEFAULT_VNODES = 128
+
+
+def _position(token: str) -> int:
+    """A ring position in [0, 2^64): SHA-256 truncated to 8 bytes."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of named nodes."""
+
+    def __init__(self, nodes: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        self.nodes: tuple[str, ...] = tuple(dict.fromkeys(nodes))
+        if not self.nodes:
+            raise ValueError("a HashRing needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for node in self.nodes:
+            for i in range(vnodes):
+                points.append((_position(f"{node}#{i}"), node))
+        # SHA-256 collisions between distinct tokens are not a practical
+        # concern; sorting the (position, node) pair still makes ties
+        # deterministic by node name.
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    # -- placement ------------------------------------------------------------------
+
+    def _start(self, key: str) -> int:
+        """Index of the first ring point clockwise of ``key``'s position."""
+        return bisect.bisect_right(self._positions, _position(key)) % len(
+            self._points
+        )
+
+    def owner(self, key: str, alive: Sequence[str] | None = None) -> str:
+        """The node owning ``key`` — the first *alive* node clockwise.
+
+        ``alive=None`` means full membership.  Raises :class:`LookupError`
+        when no listed-alive node is a member (an empty alive set in
+        particular): the caller decides what "cluster down" means.
+        """
+        if alive is None:
+            return self._owners[self._start(key)]
+        allowed = set(alive) & set(self.nodes)
+        if not allowed:
+            raise LookupError("no alive node is a ring member")
+        start = self._start(key)
+        n = len(self._points)
+        for step in range(n):
+            node = self._owners[(start + step) % n]
+            if node in allowed:
+                return node
+        raise LookupError("no alive node is a ring member")  # pragma: no cover
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, ordered by failover preference for ``key``.
+
+        The first element is :meth:`owner`; each subsequent element is the
+        next *distinct* node clockwise.  Filtering this list against an
+        alive-set is exactly ``owner(key, alive)`` extended to a sequence —
+        the router retries a failed key along this order.
+        """
+        start = self._start(key)
+        n = len(self._points)
+        seen: dict[str, None] = {}
+        for step in range(n):
+            node = self._owners[(start + step) % n]
+            if node not in seen:
+                seen[node] = None
+                if len(seen) == len(self.nodes):
+                    break
+        return list(seen)
+
+    # -- introspection --------------------------------------------------------------
+
+    def shares(self, sample: Iterable[str]) -> dict[str, int]:
+        """Keys-per-node histogram over ``sample`` (balance diagnostics)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in sample:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashRing(nodes={list(self.nodes)!r}, vnodes={self.vnodes})"

@@ -30,7 +30,10 @@ from .engine import (
     EngineStats,
     ExperimentEngine,
     ResultCache,
+    ResultStore,
+    SharedDirStore,
     effective_jobs,
+    make_store,
 )
 from .report import ExperimentResult, render_bars, render_table, sparkline
 from .runner import (
@@ -57,6 +60,9 @@ __all__ = [
     "ExperimentEngine",
     "EngineStats",
     "ResultCache",
+    "ResultStore",
+    "SharedDirStore",
+    "make_store",
     "CellExecutionError",
     "effective_jobs",
 ]

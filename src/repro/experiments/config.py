@@ -100,6 +100,16 @@ class PaperConfig:
     #: Result-cache root; ``None`` → ``<trace_cache_dir>/results`` so tests
     #: pointing the trace cache at a tmp dir stay hermetic automatically.
     result_cache_dir: Path | None = None
+    #: Result-store backend: ``"local"`` (today's private on-disk cache) or
+    #: ``"shared"`` (two-tier read-through/write-behind store rooted at
+    #: ``shared_store_dir``, so warm results are cluster-visible — see
+    #: :mod:`repro.experiments.engine.store`).  Execution-location knob
+    #: only: keys and stored payloads are identical across backends, so it
+    #: is *not* part of result-cache keys.
+    result_store: str = "local"
+    #: Cluster-visible results directory for ``result_store="shared"``
+    #: (every node of one cluster points here; ``None`` elsewhere).
+    shared_store_dir: Path | None = None
     #: Simulation-engine selection for cells with a vectorised fast path:
     #: ``"auto"`` picks the set-decomposed engines (fastsim/fastassoc) when
     #: available, ``"sequential"`` forces the reference loop.  Results are
@@ -122,6 +132,15 @@ class PaperConfig:
     #: Surfaced as ``--cell-timeout`` on the CLI and reused by the job
     #: server as its default per-request deadline.
     cell_timeout: float | None = None
+    #: Load-generator knob: artificial per-cell service time in seconds,
+    #: slept inside ``timed_execute_cell`` *before* simulating.  Makes a
+    #: worker's capacity deterministic (capacity = slots / delay) so the
+    #: cluster scaling bench and the kill-mid-burst smoke are
+    #: machine-independent.  ``None``/0 (the default, and the only sane
+    #: production value) is free.  Execution knob only — results are
+    #: unchanged, so it is *not* part of result-cache keys.  Surfaced as
+    #: ``serve --cell-delay``.
+    cell_delay: float | None = None
 
     @property
     def result_cache_path(self) -> Path:

@@ -18,6 +18,7 @@ order regardless of completion order.  The differential-test layer
 """
 
 from .cache import ENGINE_VERSION, ResultCache, cell_key, trace_fingerprint
+from .store import LocalDirStore, ResultStore, SharedDirStore, make_store
 from .cells import (
     CellExecutionError,
     KernelSpec,
@@ -42,6 +43,10 @@ from .parallel import (
 __all__ = [
     "ENGINE_VERSION",
     "ResultCache",
+    "ResultStore",
+    "LocalDirStore",
+    "SharedDirStore",
+    "make_store",
     "cell_key",
     "trace_fingerprint",
     "SimCell",

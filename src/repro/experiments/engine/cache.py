@@ -153,7 +153,17 @@ class ResultCache:
         return path
 
     def load(self, key: str) -> SimulationResult | None:
-        """Verified load; any corruption/staleness deletes the entry → miss."""
+        """Verified load; *verified* corruption/staleness deletes the entry → miss.
+
+        A transient I/O failure (``OSError`` while opening/reading — e.g. a
+        concurrent reader racing a writer on a shared filesystem, or a
+        momentary NFS hiccup) is reported as a miss but **never** deletes
+        the entry: the file may be perfectly good, and unlinking it would
+        throw away a warm result every other node could still use.  Only
+        failures that prove the decoded *content* is wrong (bad zip,
+        missing members, checksum mismatch, stale engine version,
+        inconsistent shapes) unlink.
+        """
         path = self.path_for(key)
         if not path.exists():
             return None
@@ -161,6 +171,15 @@ class ResultCache:
             with np.load(path) as data:
                 meta = json.loads(bytes(data["meta"]).decode())
                 arrays = {name: data[name].copy() for name in _ARRAY_FIELDS}
+        except OSError:
+            # Transient read error: miss, but leave the entry intact.
+            return None
+        except Exception:
+            # Undecodable content (truncated zip, missing member, bad
+            # JSON): verified corruption — recompute rather than trust.
+            self._unlink_corrupt(path)
+            return None
+        try:
             if meta.get("engine_version") != ENGINE_VERSION:
                 raise ValueError("stale engine version")
             stored = meta.pop("checksum")
@@ -170,11 +189,8 @@ class ResultCache:
             if any(arrays[name].size != n_sets for name in _ARRAY_FIELDS):
                 raise ValueError("inconsistent per-set arrays")
         except Exception:
-            # Corrupted / truncated / stale: recompute rather than trust.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Decoded fine but failed verification: provably bad entry.
+            self._unlink_corrupt(path)
             return None
         return SimulationResult(
             model=meta["model"],
@@ -188,6 +204,23 @@ class ResultCache:
             slot_misses=arrays["slot_misses"],
             extra=dict(meta.get("extra", {})),
         )
+
+    @staticmethod
+    def _unlink_corrupt(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def keys(self) -> list[str]:
+        """Keys of every entry currently on disk (unverified)."""
+        return sorted(p.stem for p in self.root.glob("*.npz"))
+
+    def flush(self) -> None:
+        """Synchronous backend: every ``store`` already hit the disk."""
+
+    def close(self) -> None:
+        """Nothing to tear down for a plain directory."""
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

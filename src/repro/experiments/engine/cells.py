@@ -376,6 +376,10 @@ def timed_execute_cell(
 ) -> tuple[SimulationResult, float]:
     """``execute_cell`` plus wall-clock seconds (the pool-worker entry point)."""
     t0 = time.perf_counter()
+    if config.cell_delay:
+        # Load-generator knob: deterministic service-time floor so cluster
+        # scaling benches are capacity-bound, not machine-bound.
+        time.sleep(config.cell_delay)
     result = execute_cell(cell, config, trace_path, profile_path)
     return result, time.perf_counter() - t0
 

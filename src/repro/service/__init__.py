@@ -20,7 +20,13 @@ identical work across clients:
 See DESIGN.md §5.4 for the full protocol and semantics.
 """
 
-from .client import ServiceClient, ServiceError, ServiceOverloaded, ServiceTimeout
+from .client import (
+    ServiceClient,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from .protocol import PROTOCOL_VERSION, ProtocolError
 from .scheduler import CellScheduler, DeadlineExceeded, Overloaded
 from .server import ReproServer
@@ -39,4 +45,5 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceStats",
     "ServiceTimeout",
+    "ServiceUnavailable",
 ]

@@ -1,0 +1,188 @@
+"""Shared fixtures for the cluster tests.
+
+Each test gets a real (loopback TCP) cluster, fully in-process: N
+thread-mode worker :class:`ReproServer` daemons plus one
+:class:`ClusterRouter`, each on its own event loop in its own thread,
+every cache rooted under ``tmp_path``.  Workers and router share one
+cluster-visible shared-store directory by default, so cross-node warm
+hits are exercised exactly as in production.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.experiments.config import PaperConfig
+from repro.service import ReproServer, ServiceClient
+
+#: Tiny-but-real simulation size: fast, yet every scheme still differs.
+REFS = 1500
+SCALE = 0.05
+
+
+@pytest.fixture
+def cluster_config(tmp_path) -> PaperConfig:
+    return replace(
+        PaperConfig(),
+        ref_limit=REFS,
+        workload_scale=SCALE,
+        jobs=1,
+        # Tests that compute a local reference result must never touch the
+        # repo's default ``.trace_cache``.
+        trace_cache_dir=tmp_path / "local" / "traces",
+    )
+
+
+class DaemonHandle:
+    """One daemon (worker or router) on a private event loop thread."""
+
+    def __init__(self, server):
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-test-daemon", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            await self.server.serve_forever()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._started.set()  # unblock start() even on startup failure
+            self._loop.close()
+
+    def start(self) -> "DaemonHandle":
+        self._thread.start()
+        assert self._started.wait(30), "daemon did not start in 30s"
+        assert self.server.port, "daemon has no bound port"
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def addr(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+    @property
+    def stats(self):
+        return self.server.stats
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.server._stopping.set)
+            self._thread.join(timeout)
+        assert not self._thread.is_alive(), "daemon thread did not exit"
+
+
+class Cluster:
+    """A router plus its workers, with per-node cache roots."""
+
+    def __init__(
+        self,
+        root: Path,
+        config: PaperConfig,
+        n_workers: int,
+        *,
+        store: str = "shared",
+        shared_dir: Path | None = None,
+        probe_interval: float = 0.2,
+        probe_timeout: float = 1.0,
+        router_store: bool = False,
+        worker_kwargs: dict | None = None,
+        router_kwargs: dict | None = None,
+    ):
+        self.shared_dir = (
+            shared_dir if shared_dir is not None else root / "shared-results"
+        )
+        self.workers: list[DaemonHandle] = []
+        for i in range(n_workers):
+            wconfig = replace(
+                config,
+                trace_cache_dir=root / f"worker{i}" / "traces",
+                result_store=store,
+                shared_store_dir=self.shared_dir if store == "shared" else None,
+            )
+            handle = DaemonHandle(
+                ReproServer(
+                    wconfig,
+                    port=0,
+                    workers=1,
+                    use_processes=False,
+                    **(worker_kwargs or {}),
+                )
+            )
+            self.workers.append(handle.start())
+        rconfig = replace(
+            config,
+            trace_cache_dir=root / "router" / "traces",
+            result_store=store if router_store else "local",
+            shared_store_dir=self.shared_dir if router_store else None,
+            use_result_cache=router_store,
+        )
+        self.router = DaemonHandle(
+            ClusterRouter(
+                [w.addr for w in self.workers],
+                rconfig,
+                port=0,
+                probe_interval=probe_interval,
+                probe_timeout=probe_timeout,
+                **(router_kwargs or {}),
+            )
+        ).start()
+
+    def client(self, **kwargs) -> ServiceClient:
+        return self.router.client(**kwargs)
+
+    def worker_stats(self):
+        return [w.stats for w in self.workers]
+
+    def total_executed(self) -> int:
+        return sum(w.stats.cells_executed for w in self.workers)
+
+    def stop(self) -> None:
+        self.router.stop()
+        for worker in self.workers:
+            worker.stop()
+
+
+@pytest.fixture
+def make_cluster(tmp_path, cluster_config):
+    """Factory: ``make_cluster(n_workers, **Cluster kwargs)``."""
+    clusters: list[Cluster] = []
+
+    def _make(n_workers: int, config: PaperConfig | None = None, **kwargs) -> Cluster:
+        # A private root per cluster: two clusters in one test must not
+        # alias their node-local tiers (cross-node warm tests share only
+        # the shared store, passed explicitly).
+        cluster = Cluster(
+            tmp_path / f"c{len(clusters)}",
+            config if config is not None else cluster_config,
+            n_workers,
+            **kwargs,
+        )
+        clusters.append(cluster)
+        return cluster
+
+    yield _make
+    for cluster in clusters:
+        cluster.stop()

@@ -1,0 +1,93 @@
+"""``repro stats`` / ``repro health`` CLI verbs against a live cluster.
+
+The verbs are first-class (not ``submit stats``): they render a
+human-readable summary — request counters, a p50/p90/p99 latency table,
+and (against a router) per-worker ring state — with ``--json`` as the
+machine-readable escape hatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.cli import _fmt_seconds
+
+WORKLOAD = "fft"
+
+
+@pytest.fixture
+def warm_cluster(make_cluster):
+    cluster = make_cluster(2)
+    with cluster.client() as client:
+        client.submit_cell("indexing", WORKLOAD, "XOR")
+        client.submit_cell("indexing", WORKLOAD, "XOR")  # warm
+    return cluster
+
+
+class TestStatsVerb:
+    def test_router_stats_render_latency_and_cluster(self, warm_cluster, capsys):
+        assert main(["stats", "--port", str(warm_cluster.router.port)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.service router @ 127.0.0.1:" in out
+        # The latency table carries the headline percentiles.
+        for column in ("count", "mean", "p50", "p90", "p99", "max"):
+            assert column in out
+        assert "cell" in out
+        # Cluster section: liveness, routing counters, per-worker rows.
+        assert "2/2 workers alive" in out
+        assert "routes_forwarded=" in out
+        for worker in warm_cluster.workers:
+            assert worker.addr in out
+
+    def test_worker_stats_render_without_cluster_section(
+        self, warm_cluster, capsys
+    ):
+        worker = warm_cluster.workers[0]
+        assert main(["stats", "--port", str(worker.port)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.service server @ 127.0.0.1:" in out
+        assert "workers alive" not in out
+
+    def test_stats_json_is_the_raw_snapshot(self, warm_cluster, capsys):
+        assert main(
+            ["stats", "--port", str(warm_cluster.router.port), "--json"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["role"] == "router"
+        assert "cluster" in snapshot and "latency" in snapshot
+
+
+class TestHealthVerb:
+    def test_router_health_renders_ring_state(self, warm_cluster, capsys):
+        assert main(["health", "--port", str(warm_cluster.router.port)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ok — ")
+        assert "2/2 alive" in out
+        assert "vnodes" in out
+        for worker in warm_cluster.workers:
+            assert worker.addr in out
+        assert "DOWN" not in out
+
+    def test_health_json(self, warm_cluster, capsys):
+        assert main(
+            ["health", "--port", str(warm_cluster.router.port), "--json"]
+        ) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["status"] == "ok"
+        assert health["role"] == "router"
+
+    def test_unreachable_daemon_is_exit_3(self, capsys):
+        # Port 1 is never listening on loopback.
+        assert main(["health", "--port", "1"]) == 3
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestRendering:
+    def test_fmt_seconds_scales_units(self):
+        assert _fmt_seconds(0) == "0"
+        assert _fmt_seconds(0.0000005).endswith("µs")
+        assert _fmt_seconds(0.0042) == "4.2ms"
+        assert _fmt_seconds(2.5) == "2.50s"

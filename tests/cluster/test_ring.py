@@ -1,0 +1,177 @@
+"""Hypothesis properties of the consistent-hash ring.
+
+The three properties the router's correctness argument leans on:
+
+* **balance** — no node owns a pathological share of the keyspace;
+* **minimal movement** — adding/removing a node only reassigns keys that
+  move to/from that node (this is what makes ejection/rejoin cheap and
+  what bounds the cold work a membership change can cause);
+* **determinism** — placement is a pure function of SHA-256, so separate
+  processes (router replicas, test harnesses) agree without coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+#: Deterministic pseudo-keys shaped like real result-cache keys (hex).
+def _keys(n: int, salt: str = "") -> list[str]:
+    return [
+        hashlib.sha256(f"{salt}key-{i}".encode()).hexdigest() for i in range(n)
+    ]
+
+
+def _node_names(min_size: int = 1) -> st.SearchStrategy[list[str]]:
+    return st.lists(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789.:-",
+            min_size=1,
+            max_size=24,
+        ),
+        min_size=min_size,
+        max_size=8,
+        unique=True,
+    )
+
+
+class TestBalance:
+    @given(n_nodes=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_max_share_within_bound_of_mean(self, n_nodes: int):
+        nodes = [f"10.0.0.{i}:7500" for i in range(n_nodes)]
+        ring = HashRing(nodes)
+        shares = ring.shares(_keys(4000))
+        mean = 4000 / n_nodes
+        assert sum(shares.values()) == 4000
+        # 128 vnodes keeps every shard within 1.7x of the fair share (the
+        # theoretical spread shrinks like 1/sqrt(vnodes)).
+        assert max(shares.values()) <= 1.7 * mean
+        assert min(shares.values()) >= mean / 1.7
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only:1"])
+        assert ring.shares(_keys(100)) == {"only:1": 100}
+
+
+class TestMinimalMovement:
+    @given(nodes=_node_names(min_size=1), joiner=st.text(min_size=1, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_join_moves_keys_only_onto_the_new_node(self, nodes, joiner):
+        if joiner in nodes:
+            nodes = [n for n in nodes if n != joiner]
+            if not nodes:
+                nodes = ["survivor"]
+        before = HashRing(nodes)
+        after = HashRing(nodes + [joiner])
+        for key in _keys(300):
+            old, new = before.owner(key), after.owner(key)
+            if old != new:
+                # A moved key may only have moved TO the joiner.
+                assert new == joiner
+
+    @given(nodes=_node_names(min_size=2), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_leave_moves_only_the_leavers_keys(self, nodes, data):
+        leaver = data.draw(st.sampled_from(nodes))
+        before = HashRing(nodes)
+        after = HashRing([n for n in nodes if n != leaver])
+        for key in _keys(300):
+            old, new = before.owner(key), after.owner(key)
+            if old != new:
+                # A moved key may only have moved FROM the leaver.
+                assert old == leaver
+
+    @given(nodes=_node_names(min_size=2), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_ejection_equals_membership_removal(self, nodes, data):
+        """Alive-set filtering is exactly a ring without the dead node.
+
+        This is the property that makes rejoin free: un-ejecting restores
+        the original placement bit-for-bit, because ejection never
+        rebuilt anything.
+        """
+        dead = data.draw(st.sampled_from(nodes))
+        alive = [n for n in nodes if n != dead]
+        full = HashRing(nodes)
+        removed = HashRing(alive)
+        for key in _keys(150):
+            assert full.owner(key, alive=alive) == removed.owner(key)
+
+
+class TestPreference:
+    @given(nodes=_node_names(min_size=1))
+    @settings(max_examples=25, deadline=None)
+    def test_preference_is_a_permutation_starting_at_the_owner(self, nodes):
+        ring = HashRing(nodes)
+        for key in _keys(50):
+            pref = ring.preference(key)
+            assert pref[0] == ring.owner(key)
+            assert sorted(pref) == sorted(nodes)
+
+    @given(nodes=_node_names(min_size=2), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_alive_owner_is_first_alive_preference(self, nodes, data):
+        alive = data.draw(
+            st.lists(st.sampled_from(nodes), min_size=1, unique=True)
+        )
+        ring = HashRing(nodes)
+        for key in _keys(50):
+            expected = next(n for n in ring.preference(key) if n in alive)
+            assert ring.owner(key, alive=alive) == expected
+
+    def test_empty_alive_set_raises(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(LookupError):
+            ring.owner("k", alive=[])
+        with pytest.raises(LookupError):
+            ring.owner("k", alive=["not-a-member"])
+
+
+class TestDeterminism:
+    def test_placement_identical_across_processes(self):
+        """A fresh interpreter derives the identical key → node map.
+
+        Guards against accidental dependence on ``hash()`` (which is
+        process-seeded) or iteration order anywhere in the ring.
+        """
+        nodes = ["10.0.0.1:7500", "10.0.0.2:7500", "10.0.0.3:7500"]
+        keys = _keys(64)
+        local = {k: HashRing(nodes).owner(k) for k in keys}
+        script = (
+            "import json, sys\n"
+            "from repro.cluster.ring import HashRing\n"
+            "nodes, keys = json.load(sys.stdin)\n"
+            "ring = HashRing(nodes)\n"
+            "print(json.dumps({k: ring.owner(k) for k in keys}))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([nodes, keys]),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(proc.stdout) == local
+
+    def test_rebuild_is_identical_in_process(self):
+        nodes = ["a", "b", "c", "d"]
+        r1, r2 = HashRing(nodes), HashRing(nodes)
+        for key in _keys(200):
+            assert r1.owner(key) == r2.owner(key)
+            assert r1.preference(key) == r2.preference(key)
+
+    def test_node_order_does_not_matter(self):
+        keys = _keys(200)
+        fwd = HashRing(["a", "b", "c"])
+        rev = HashRing(["c", "b", "a"])
+        for key in keys:
+            assert fwd.owner(key) == rev.owner(key)
