@@ -8,6 +8,8 @@
     repro-cache run all --out EXPERIMENTS.md --jobs 0   # 0 = all cores
     repro-cache trace fft --refs 100000 --out fft.npz [--format din]
     repro-cache trace warm --jobs 0 [--experiments fig4,fig13]   # prefetch cache
+    repro-cache trace stats                # per-format trace-cache inventory
+    repro-cache trace gc                   # evict npz entries migrated to raw
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
     repro-cache sweep --workload fft --ways 4        # k-way LRU fast path
     repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
@@ -97,13 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="generate and save a workload trace, or 'trace warm' to prefetch "
-        "the experiment trace cache in parallel",
+        help="generate and save a workload trace; 'trace warm' prefetches "
+        "the experiment trace cache in parallel; 'trace stats' prints "
+        "per-format cache byte counts; 'trace gc' evicts npz entries "
+        "already migrated to the raw mmap format",
     )
     trace.add_argument(
         "workload",
-        help="workload name, or the literal 'warm' to prefetch every trace "
-        "the selected experiments will need",
+        help="workload name, or one of the literals: 'warm' (prefetch every "
+        "trace the selected experiments will need), 'stats' (per-format "
+        "trace-cache inventory), 'gc' (delete npz entries that have been "
+        "migrated to the raw mmap format)",
     )
     trace.add_argument(
         "--refs", type=int, default=None, help="trace length (warm: config ref limit)"
@@ -124,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="all",
         help="warm: comma-separated experiment ids to prefetch for (default all)",
+    )
+    trace.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="stats/gc: trace-cache root (default .trace_cache)",
     )
 
     sweep = sub.add_parser("sweep", help="miss rates of schemes over one workload")
@@ -218,6 +230,10 @@ def _cmd_run(args) -> int:
 def _cmd_trace(args) -> int:
     if args.workload == "warm":
         return _cmd_trace_warm(args)
+    if args.workload == "stats":
+        return _cmd_trace_stats(args)
+    if args.workload == "gc":
+        return _cmd_trace_gc(args)
     if args.out is None:
         print("error: --out is required when generating a trace", file=sys.stderr)
         return 2
@@ -262,6 +278,42 @@ def _cmd_trace_warm(args) -> int:
         f"warmed {len(entries)} trace(s) for {len(ids)} experiment(s) in {wall:.1f}s "
         f"({generated} generated [{gen_seconds:.1f}s worker-time], "
         f"{len(entries) - generated} already cached) -> {cfg.trace_cache_dir}"
+    )
+    return 0
+
+
+def _trace_cache_from(args):
+    from .trace.io import TraceCache
+
+    cfg = PaperConfig()
+    trace_dir = getattr(args, "trace_dir", None)
+    return TraceCache(trace_dir if trace_dir is not None else cfg.trace_cache_dir)
+
+
+def _cmd_trace_stats(args) -> int:
+    """Per-format trace-cache inventory (raw vs legacy npz, migration state)."""
+    cache = _trace_cache_from(args)
+    st = cache.stats()
+    print(f"trace cache {st['root']}")
+    print(
+        f"  raw (mmap)  {st['raw_entries']:>5} entr{'y' if st['raw_entries'] == 1 else 'ies'}, "
+        f"{st['raw_bytes'] / (1 << 20):8.1f} MiB"
+    )
+    print(
+        f"  npz legacy  {st['npz_entries']:>5} entr{'y' if st['npz_entries'] == 1 else 'ies'}, "
+        f"{st['npz_bytes'] / (1 << 20):8.1f} MiB "
+        f"({st['npz_migrated']} migrated, reclaimable via 'trace gc')"
+    )
+    return 0
+
+
+def _cmd_trace_gc(args) -> int:
+    """Evict npz entries that already have a raw (mmap-format) sibling."""
+    cache = _trace_cache_from(args)
+    removed, reclaimed = cache.gc()
+    print(
+        f"trace gc: removed {removed} migrated npz entr"
+        f"{'y' if removed == 1 else 'ies'}, reclaimed {reclaimed / (1 << 20):.1f} MiB"
     )
     return 0
 
@@ -347,8 +399,15 @@ def _cmd_cache(args) -> int:
     trace_dir = Path(trace_dir)
     result_dir = trace_dir / "results"
     results = ResultCache(result_dir)
-    n_traces = sum(1 for _ in trace_dir.glob("*.npz"))
-    print(f"trace cache   {trace_dir}: {n_traces} trace(s)")
+    from .trace.io import RAW_SUFFIX
+
+    n_raw = sum(1 for _ in trace_dir.glob(f"*{RAW_SUFFIX}"))
+    n_npz = sum(1 for _ in trace_dir.glob("*.npz"))
+    n_traces = n_raw + n_npz
+    print(
+        f"trace cache   {trace_dir}: {n_traces} trace file(s) "
+        f"({n_raw} raw, {n_npz} npz)"
+    )
     print(
         f"result cache  {result_dir}: {len(results)} cell result(s), "
         f"{results.size_bytes() / 1024:.1f} KiB"

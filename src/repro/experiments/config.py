@@ -87,6 +87,15 @@ class PaperConfig:
 
     # On-disk trace cache (regeneration is the slow part of a sweep).
     trace_cache_dir: Path = field(default_factory=lambda: Path(".trace_cache"))
+    #: Byte budget of the process-wide trace arena (the bounded LRU of
+    #: opened/mapped traces every trace-path consumer shares — see
+    #: :mod:`repro.trace.arena`).  Bounds how much mapped trace data a
+    #: long-lived process (``repro serve``, cluster workers, pool
+    #: workers) retains; raw-format entries are mapped zero-copy, so the
+    #: budget is address-space/worst-case-residency, not guaranteed RSS.
+    #: Execution knob only (like ``jobs``/``engine``): results are
+    #: bit-identical at any budget, so it is *not* part of cache keys.
+    trace_arena_bytes: int = 1 << 30
 
     # -- parallel experiment engine ------------------------------------------------
     #: Worker processes for experiment grids: 1 = deterministic in-process

@@ -208,26 +208,26 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
 
 # -- execution (runs in the parent at jobs=1, in pool workers otherwise) ----------
 
-#: Per-process memo of npz-loaded traces, keyed by path.  Pool workers run
-#: many cells of the same workload back to back; loading the (content-
-#: addressed, read-only) npz once per process instead of once per cell is
-#: the point of shipping *paths* rather than pickled address arrays.
-_TRACE_MEMO: dict[str, object] = {}
-_TRACE_MEMO_MAX = 4
+def _trace_at(path, name: str, config: PaperConfig | None = None):
+    """The trace stored at ``path``, renamed to ``name``, via the arena.
 
+    Pool workers run many cells of the same workload back to back;
+    opening the (content-addressed, read-only) file once per process
+    instead of once per cell is the point of shipping *paths* rather than
+    pickled address arrays.  The process-wide
+    :class:`~repro.trace.arena.TraceArena` replaces the old unbounded
+    per-module memo: raw-format entries map zero-copy (forked workers
+    share the parent's page-cache pages), legacy npz entries decode, and
+    a byte-budgeted LRU keeps long-lived service/cluster processes from
+    accumulating every trace they ever touched.  ``config`` (when the
+    caller has one) carries the budget, ``trace_arena_bytes``.
+    """
+    from ...trace.arena import get_arena
 
-def _trace_at(path, name: str):
-    """Load (memoized) the trace stored at ``path``, renamed to ``name``."""
-    from ...trace.io import load_npz
-
-    key = str(path)
-    trace = _TRACE_MEMO.get(key)
-    if trace is None:
-        trace = load_npz(path)
-        while len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
-            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
-        _TRACE_MEMO[key] = trace
-    return trace.with_name(name)
+    arena = get_arena()
+    if config is not None and config.trace_arena_bytes:
+        arena.configure(config.trace_arena_bytes)
+    return arena.get(path, name)
 
 
 def _build_indexing_scheme(cell: SimCell, config: PaperConfig, profile_path=None):
@@ -240,7 +240,7 @@ def _build_indexing_scheme(cell: SimCell, config: PaperConfig, profile_path=None
         return PrimeModuloIndexing(g)
     if cell.label in _TRAINABLE_LABELS:
         if profile_path is not None:
-            fit_addrs = _trace_at(profile_path, cell.workload).addresses
+            fit_addrs = _trace_at(profile_path, cell.workload, config).addresses
         else:
             from ..runner import profile_trace
 
@@ -325,15 +325,17 @@ def execute_cell(
     The workload trace is materialised through the shared on-disk trace
     cache — the engine pre-warms it in the parent so worker processes only
     ever read.  When the engine passes the pre-warmed ``trace_path`` /
-    ``profile_path``, the worker opens those npz files directly (memoized
-    per process) instead of re-deriving the cache key; results are
-    bit-identical because ``workload_trace`` itself returns ``load_npz`` of
-    the very same file on a warm cache.
+    ``profile_path``, the worker maps those files directly through the
+    process-wide trace arena (zero-copy for raw-format entries) instead
+    of re-deriving the cache key; results are bit-identical because
+    ``workload_trace`` itself returns a load of the very same file on a
+    warm cache, and the raw format round-trips every field byte-for-byte
+    (``tests/trace/test_raw_format.py``).
     """
     from ..runner import progassoc_lineup, workload_trace
 
     if trace_path is not None:
-        trace = _trace_at(trace_path, cell.workload)
+        trace = _trace_at(trace_path, cell.workload, config)
     else:
         trace = workload_trace(cell.workload, config)
     g = config.geometry

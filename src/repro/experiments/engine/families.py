@@ -16,7 +16,7 @@ two axes, and executes each family as one unit:
 
 ``decode`` (the shared-trace axis)
     Remaining cells of one workload are batched into a single execution
-    unit: the npz trace is decoded once per family (per worker process)
+    unit: the trace is opened once per process (via the trace arena)
     instead of once per scheduled cell, and each member then runs its
     *unmodified* per-cell :func:`~.cells.execute_cell` path — exact by
     construction, cheaper by task granularity and guaranteed trace-memo
@@ -148,7 +148,7 @@ def execute_family(
         t0 = time.perf_counter()
         try:
             if trace_path is not None:
-                trace = _trace_at(trace_path, family.workload)
+                trace = _trace_at(trace_path, family.workload, config)
             else:
                 from ..runner import workload_trace
 
@@ -169,8 +169,8 @@ def execute_family(
             for cell, result in zip(family.members, results)
         )
         return completed, None
-    # decode / single: one shared trace decode (via the per-process npz
-    # memo), then each member's unmodified per-cell path.
+    # decode / single: one shared trace open (via the process-wide trace
+    # arena), then each member's unmodified per-cell path.
     for cell in family.members:
         try:
             result, seconds = timed_execute_cell(

@@ -7,8 +7,9 @@ runners use) takes the declared cell list of one experiment grid and
    :func:`repro.experiments.warm.warm_traces` — every missing workload and
    profiling trace is generated concurrently on the same worker budget, and
    content fingerprints are computed inside the workers; the parent never
-   loads a trace, and cell workers are handed npz *paths* (re-opened
-   locally and memoized per process), never pickled address arrays;
+   loads a trace, and cell workers are handed trace-file *paths*
+   (mapped locally through the process-wide trace arena), never pickled
+   address arrays;
 2. answers as many cells as possible from the content-addressed
    :class:`~repro.experiments.engine.cache.ResultCache`;
 3. executes the remaining cells either in-process (``jobs=1``, the
@@ -238,8 +239,8 @@ def _warm_and_fingerprint(
     trainable-scheme cells) is warmed through
     :func:`repro.experiments.warm.warm_traces` on the engine's worker
     budget; fingerprints are computed in the workers, so the parent's cost
-    is independent of trace length.  Workers later receive the on-disk npz
-    *paths* (a few bytes each) rather than pickled address arrays.
+    is independent of trace length.  Workers later receive the on-disk
+    trace *paths* (a few bytes each) rather than pickled address arrays.
     """
     from ..warm import TraceWarmError, profile_spec, warm_traces, workload_spec
 

@@ -128,17 +128,20 @@ def profile_trace(name: str, config: PaperConfig) -> Trace:
 def workload_trace_path(
     name: str, config: PaperConfig, seed: int | None = None
 ) -> Path:
-    """Npz path of the cached workload trace, materialising it if absent.
+    """On-disk path of the cached workload trace, materialising it if absent.
 
     The parallel engine hands this path to pool workers instead of pickling
-    the full address arrays per cell; workers re-open the npz read-only
-    (bit-identical by construction — ``workload_trace`` itself returns
-    ``load_npz`` of the same file on every warm call).
+    the full address arrays per cell; workers re-open the file read-only
+    through the process-wide trace arena (bit-identical by construction —
+    ``workload_trace`` itself returns a load of the same file on every
+    warm call).  New entries are written in the raw mmap-able format
+    (``.rtr``); a legacy ``.npz`` entry migrates transparently inside
+    ``get_or_create``.
 
     Always warms through :func:`workload_trace` rather than a bare
     existence check: ``TraceCache.get_or_create`` validates the entry and
     regenerates corrupted/truncated files, so the returned path is
-    guaranteed to be a loadable npz.
+    guaranteed loadable.
     """
     seed = config.seed if seed is None else seed
     cache = TraceCache(config.trace_cache_dir)
@@ -150,7 +153,7 @@ def workload_trace_path(
 
 
 def profile_trace_path(name: str, config: PaperConfig) -> Path:
-    """Npz path of the cached profiling trace (see :func:`profile_trace`)."""
+    """On-disk path of the cached profiling trace (see :func:`profile_trace`)."""
     if config.profile_seed_offset == 0:
         return workload_trace_path(name, config)
     return workload_trace_path(name, config, seed=config.seed + config.profile_seed_offset)

@@ -1,9 +1,19 @@
 """Trace infrastructure: events, the modelled address space, recorders,
 synthetic stressors, persistence and SMT interleaving."""
 
+from .arena import TraceArena, get_arena
 from .event import MemoryAccess, Trace, TraceBuilder
 from .interleave import block_interleave, random_interleave, round_robin
-from .io import TraceCache, load_din, load_npz, save_din, save_npz
+from .io import (
+    TraceCache,
+    load_din,
+    load_npz,
+    load_raw,
+    load_trace,
+    save_din,
+    save_npz,
+    save_raw,
+)
 from .memory import AddressSpace, Array, SegmentLayout, StackFrame
 from .recorder import Recorder, TraceComplete, record
 from .stats import TraceSummary, reuse_distances, stride_histogram, summarize
@@ -33,9 +43,14 @@ __all__ = [
     "block_interleave",
     "save_npz",
     "load_npz",
+    "save_raw",
+    "load_raw",
+    "load_trace",
     "save_din",
     "load_din",
     "TraceCache",
+    "TraceArena",
+    "get_arena",
     "TraceSummary",
     "summarize",
     "stride_histogram",

@@ -364,14 +364,14 @@ class TestCacheKeyAudit:
 
 
 class TestTracePathTransfer:
-    """Workers consume npz paths, not pickled address arrays."""
+    """Workers consume trace paths, not pickled address arrays."""
 
     def test_workload_trace_path_materialises_and_roundtrips(self, config):
         path = workload_trace_path("crc", config)
-        assert path.exists() and path.suffix == ".npz"
-        from repro.trace.io import load_npz
+        assert path.exists() and path.suffix == ".rtr"  # raw mmap format
+        from repro.trace.io import load_trace
 
-        via_path = load_npz(path).with_name("crc")
+        via_path = load_trace(path).with_name("crc")
         via_cache = workload_trace("crc", config)
         np.testing.assert_array_equal(via_path.addresses, via_cache.addresses)
         assert via_path.name == via_cache.name

@@ -34,7 +34,7 @@ from repro.service.protocol import (
     normalize_sweep_request,
     sweep_cell,
 )
-from repro.trace.io import load_npz
+from repro.trace.io import load_trace
 
 # Request shapes covering every cell family the protocol can express.
 CELL_REQUESTS = [
@@ -57,7 +57,7 @@ def _recomputed_key(cell, config) -> str:
     fp = trace_fingerprint(workload_trace(cell.workload, config))
     profile_fp = None
     if cell.needs_profile:
-        profile_fp = trace_fingerprint(load_npz(profile_trace_path(cell.workload, config)))
+        profile_fp = trace_fingerprint(load_trace(profile_trace_path(cell.workload, config)))
     return cell_key(
         cell.kind,
         cell.label,

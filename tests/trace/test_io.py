@@ -89,14 +89,17 @@ class TestTraceCache:
         cache.get_or_create("k", lambda: zipf_trace(10))
         cache.clear()
         assert list(tmp_path.glob("*.npz")) == []
+        assert list(tmp_path.glob("*.rtr")) == []
 
     def test_corrupt_entry_regenerated_not_trusted(self, tmp_path):
-        """A truncated npz (e.g. from a pre-atomic-write race) is healed."""
+        """A truncated entry (e.g. from a pre-atomic-write race) is healed."""
+        from repro.trace import load_trace
+
         cache = TraceCache(tmp_path)
         first = cache.get_or_create("k", lambda: zipf_trace(50, seed=3))
         path = cache.path_for("k")
         blob = path.read_bytes()
-        path.write_bytes(blob[:-2])  # chop the end-of-central-directory tail
+        path.write_bytes(blob[:-2])  # chop the tail off the on-disk entry
         calls = []
 
         def regen():
@@ -108,5 +111,5 @@ class TestTraceCache:
         np.testing.assert_array_equal(healed.addresses, first.addresses)
         # ... and the healed entry is a valid file again.
         np.testing.assert_array_equal(
-            load_npz(path).addresses, first.addresses
+            load_trace(cache.path_for("k")).addresses, first.addresses
         )

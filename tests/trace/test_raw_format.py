@@ -1,0 +1,264 @@
+"""The raw (mmap-able) trace format: round-trips, bit-identity with npz,
+layout guarantees, digest/fingerprint parity, and cache self-healing.
+
+The format is the storage layer under PR 8's zero-copy trace store, so the
+contract here is strict: a mapped trace must equal the npz decode of the
+same trace field-for-field (values *and* dtypes), the header digest must
+equal the engine's :func:`trace_fingerprint` (warm runs key the result
+cache off it), and any truncated/zero-length file — either format — must
+self-heal through :class:`TraceCache`, never be trusted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.engine.cache import trace_fingerprint
+from repro.trace import (
+    Trace,
+    TraceCache,
+    load_npz,
+    load_raw,
+    load_trace,
+    save_npz,
+    save_raw,
+    zipf_trace,
+)
+from repro.trace.io import RAW_MAGIC, RAW_SUFFIX, read_raw_header
+
+
+@pytest.fixture
+def sample() -> Trace:
+    return Trace(
+        np.array([0x1000, 0x2040, 0x30FF, 2**63 + 17], dtype=np.uint64),
+        is_write=np.array([False, True, False, True]),
+        thread=np.array([0, 1, 0, 3], dtype=np.int16),
+        name="sample",
+        meta={"seed": 7, "note": "hello"},
+    )
+
+
+class TestRoundTrip:
+    def test_mapped_round_trip(self, sample, tmp_path):
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        back = load_raw(path)
+        np.testing.assert_array_equal(back.addresses, sample.addresses)
+        np.testing.assert_array_equal(back.is_write, sample.is_write)
+        np.testing.assert_array_equal(back.thread, sample.thread)
+        assert back.addresses.dtype == np.uint64
+        assert back.is_write.dtype == np.bool_
+        assert back.thread.dtype == np.int16
+        assert back.name == "sample"
+        assert back.meta == {"seed": 7, "note": "hello"}
+
+    def test_mapped_arrays_are_read_only_views(self, sample, tmp_path):
+        back = load_raw(save_raw(sample, tmp_path / f"t{RAW_SUFFIX}"))
+        for arr in (back.addresses, back.is_write, back.thread):
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+
+    def test_copy_mode_matches_mapped(self, sample, tmp_path):
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        mapped = load_raw(path)
+        copied = load_raw(path, mmap_sections=False)
+        np.testing.assert_array_equal(mapped.addresses, copied.addresses)
+        np.testing.assert_array_equal(mapped.is_write, copied.is_write)
+        np.testing.assert_array_equal(mapped.thread, copied.thread)
+
+    def test_empty_trace(self, tmp_path):
+        empty = Trace(np.empty(0, dtype=np.uint64), name="empty")
+        back = load_raw(save_raw(empty, tmp_path / f"e{RAW_SUFFIX}"), verify=True)
+        assert len(back) == 0
+        assert back.name == "empty"
+
+    def test_large_trace_verify(self, tmp_path):
+        t = zipf_trace(30_000, seed=1)
+        back = load_raw(save_raw(t, tmp_path / f"big{RAW_SUFFIX}"), verify=True)
+        np.testing.assert_array_equal(back.addresses, t.addresses)
+
+    def test_atomic_write_leaves_no_temp_files(self, sample, tmp_path):
+        save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")  # overwrite is atomic too
+        leftovers = [p for p in tmp_path.iterdir() if p.name != f"t{RAW_SUFFIX}"]
+        assert leftovers == []
+
+
+class TestBitIdentityWithNpz:
+    """Mapped trace ≡ ``load_npz`` arrays, field for field (the PR 8 gate)."""
+
+    @pytest.mark.parametrize("n", [1, 257, 20_000])
+    def test_formats_agree_field_for_field(self, tmp_path, n):
+        t = zipf_trace(n, seed=n)
+        raw = load_raw(save_raw(t, tmp_path / f"t{RAW_SUFFIX}"))
+        npz = load_npz(save_npz(t, tmp_path / "t.npz"))
+        for field in ("addresses", "is_write", "thread"):
+            a, b = getattr(raw, field), getattr(npz, field)
+            np.testing.assert_array_equal(a, b)
+            assert a.dtype == b.dtype
+        assert raw.name == npz.name
+        assert raw.meta == npz.meta
+
+    def test_fingerprint_invariant_across_formats(self, tmp_path):
+        t = zipf_trace(5_000, seed=9)
+        raw = load_raw(save_raw(t, tmp_path / f"t{RAW_SUFFIX}"))
+        npz = load_npz(save_npz(t, tmp_path / "t.npz"))
+        assert trace_fingerprint(raw) == trace_fingerprint(npz) == trace_fingerprint(t)
+
+    def test_load_trace_sniffs_both_formats(self, sample, tmp_path):
+        raw = save_raw(sample, tmp_path / f"a{RAW_SUFFIX}")
+        npz = save_npz(sample, tmp_path / "a.npz")
+        np.testing.assert_array_equal(
+            load_trace(raw).addresses, load_trace(npz).addresses
+        )
+
+
+class TestLayout:
+    def test_magic_and_page_alignment(self, sample, tmp_path):
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        assert path.read_bytes()[: len(RAW_MAGIC)] == RAW_MAGIC
+        header = read_raw_header(path)
+        for field in ("addresses", "is_write", "thread"):
+            assert header["sections"][field]["offset"] % 4096 == 0
+
+    def test_header_digest_is_engine_fingerprint(self, tmp_path):
+        """Warm runs read the digest instead of re-hashing: pin the formulas."""
+        t = zipf_trace(3_000, seed=4)
+        header = read_raw_header(save_raw(t, tmp_path / f"t{RAW_SUFFIX}"))
+        assert header["digest"] == trace_fingerprint(t)
+
+    def test_declared_size_matches_file(self, sample, tmp_path):
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        assert read_raw_header(path)["size"] == path.stat().st_size
+
+
+class TestCorruptionRejected:
+    def test_truncated_file_rejected(self, sample, tmp_path):
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(ValueError, match="truncated"):
+            load_raw(path)
+
+    def test_zero_length_file_rejected(self, tmp_path):
+        path = tmp_path / f"z{RAW_SUFFIX}"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            load_raw(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / f"w{RAW_SUFFIX}"
+        path.write_bytes(b"NOTATRACE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="not a raw trace"):
+            load_raw(path)
+
+    def test_flipped_payload_fails_verify_only(self, sample, tmp_path):
+        """Structure survives a bit flip; ``verify=True`` catches it."""
+        path = save_raw(sample, tmp_path / f"t{RAW_SUFFIX}")
+        blob = bytearray(path.read_bytes())
+        offset = read_raw_header(path)["sections"]["addresses"]["offset"]
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        load_raw(path)  # structurally fine
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_raw(path, verify=True)
+
+
+class TestCacheSelfHealing:
+    """Zero-length/truncated entries of *either* format regenerate (PR 8
+    satellite: a partial write surviving a crash must never poison warm
+    runs)."""
+
+    @staticmethod
+    def _regen_counter(seed=3):
+        calls = []
+
+        def regen():
+            calls.append(1)
+            return zipf_trace(50, seed=seed)
+
+        return calls, regen
+
+    @pytest.mark.parametrize("fmt", ["raw", "npz"])
+    def test_zero_length_entry_heals(self, tmp_path, fmt):
+        cache = TraceCache(tmp_path)
+        calls, regen = self._regen_counter()
+        suffix = RAW_SUFFIX if fmt == "raw" else ".npz"
+        (tmp_path / f"k{suffix}").write_bytes(b"")  # crash artifact
+        healed = cache.get_or_create("k", regen)
+        assert calls == [1]
+        assert len(healed) == 50
+        assert cache._raw_path("k").exists()
+
+    @pytest.mark.parametrize("fmt", ["raw", "npz"])
+    def test_truncated_entry_heals(self, tmp_path, fmt):
+        cache = TraceCache(tmp_path)
+        t = zipf_trace(50, seed=3)
+        if fmt == "raw":
+            path = save_raw(t, tmp_path / f"k{RAW_SUFFIX}")
+        else:
+            path = save_npz(t, tmp_path / "k.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        calls, regen = self._regen_counter()
+        healed = cache.get_or_create("k", regen)
+        assert calls == [1]
+        np.testing.assert_array_equal(healed.addresses, t.addresses)
+        # The healed raw entry loads cleanly, including a full digest check.
+        load_raw(cache._raw_path("k"), verify=True)
+
+    def test_corrupt_raw_heals_from_npz_sibling_without_regen(self, tmp_path):
+        """An intact npz sibling repairs a torn raw entry for free."""
+        cache = TraceCache(tmp_path)
+        t = zipf_trace(80, seed=5)
+        save_npz(t, cache._npz_path("k"))
+        (tmp_path / f"k{RAW_SUFFIX}").write_bytes(b"torn")
+        calls, regen = self._regen_counter()
+        healed = cache.get_or_create("k", regen)
+        assert calls == []  # migrated from the sibling, not regenerated
+        np.testing.assert_array_equal(healed.addresses, t.addresses)
+        load_raw(cache._raw_path("k"), verify=True)
+
+
+# -- Hypothesis: arbitrary valid traces round-trip through the raw format --------
+
+_addresses = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=64
+)
+
+
+@st.composite
+def traces(draw) -> Trace:
+    addrs = draw(_addresses)
+    n = len(addrs)
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    threads = draw(
+        st.lists(st.integers(min_value=-4, max_value=7), min_size=n, max_size=n)
+    )
+    name = draw(st.text(max_size=12))
+    meta_key = draw(st.sampled_from(["seed", "scale", "k"]))
+    meta_val = draw(st.integers(min_value=-(2**31), max_value=2**31))
+    return Trace(
+        np.array(addrs, dtype=np.uint64),
+        np.array(writes, dtype=bool),
+        np.array(threads, dtype=np.int16),
+        name=name,
+        meta={meta_key: meta_val},
+    )
+
+
+class TestHypothesisRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=traces())
+    def test_save_mmap_equality(self, trace, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("hyp_raw")
+        back = load_raw(save_raw(trace, tmp / f"t{RAW_SUFFIX}"), verify=True)
+        assert len(back) == len(trace)
+        for field in ("addresses", "is_write", "thread"):
+            a, b = getattr(trace, field), getattr(back, field)
+            np.testing.assert_array_equal(a, b)
+            assert a.dtype == b.dtype
+        assert back.name == trace.name
+        assert back.meta == trace.meta
+        assert trace_fingerprint(back) == trace_fingerprint(trace)
