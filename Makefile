@@ -36,6 +36,7 @@ bench-check:
 	$(PY) -m pytest benchmarks/test_engine_micro.py benchmarks/test_trace_gen.py \
 	  benchmarks/test_trace_store_bench.py \
 	  benchmarks/test_service_bench.py benchmarks/test_sweep_batching_bench.py \
+	  benchmarks/test_policy_kernel_bench.py \
 	  benchmarks/test_cluster_bench.py \
 	  --benchmark-only --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json

@@ -154,8 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--policy",
         default="lru",
-        help="replacement policy for --ways > 1 (the vectorised kernel "
-        "supports 'lru'; anything else is rejected)",
+        help="replacement policy (lru, fifo, plru, mru, lfu, random); a "
+        "comma list like lru,fifo,plru sweeps every policy over the same "
+        "sets from ONE set-decomposition pass per scheme (needs a single "
+        "--ways value; the multi-ways Mattson sweep stays LRU-only)",
+    )
+    sweep.add_argument(
+        "--policy-seed",
+        type=int,
+        default=0,
+        help="seed of the 'random' policy's generator (default 0)",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result/trace caches")
@@ -326,7 +334,30 @@ def _cmd_sweep(args) -> int:
         return 2
     if not ways_list:
         ways_list = [1]
+    # Validate every requested policy against the registry *before* any
+    # trace generation or simulation work starts.
+    policy_list = [p.strip() for p in str(args.policy).split(",") if p.strip()]
+    if not policy_list:
+        policy_list = ["lru"]
+    from .core.replacement import make_policy
+
+    for policy in policy_list:
+        try:
+            make_policy(policy, 1, 1)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if len(policy_list) > 1 and len(ways_list) > 1:
+        print(
+            "error: sweep one axis at a time — a comma list for --ways "
+            "(LRU Mattson sweep) or for --policy (set-decomposition sweep), "
+            "not both",
+            file=sys.stderr,
+        )
+        return 2
     trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
+    if len(policy_list) > 1:
+        return _cmd_sweep_policies(args, trace, ways_list[0], policy_list)
     if len(ways_list) > 1:
         return _cmd_sweep_ways(args, trace, ways_list)
     ways = ways_list[0]
@@ -347,12 +378,50 @@ def _cmd_sweep(args) -> int:
         else:
             try:
                 res = simulate_set_associative(
-                    scheme, trace, geometry, policy=args.policy
+                    scheme,
+                    trace,
+                    geometry,
+                    policy=args.policy,
+                    policy_seed=args.policy_seed,
                 )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         print(f"  {scheme.name:16s} miss_rate={res.miss_rate:.4f} misses={res.misses}")
+    return 0
+
+
+def _cmd_sweep_policies(args, trace, ways: int, policy_list: list[str]) -> int:
+    """Policy sweep: every policy over the same sets from one pass."""
+    from .core.fastpolicy import simulate_policy_sweep
+
+    geometry = PAPER_L1_GEOMETRY
+    if ways != 1:
+        try:
+            geometry = geometry.with_ways(ways)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(
+        f"{args.workload}: {len(trace)} refs, geometry {geometry.describe()}, "
+        f"policies {','.join(policy_list)} from one set-decomposition pass per scheme"
+    )
+    for name in args.schemes.split(","):
+        scheme = make_scheme(name.strip(), geometry)
+        if isinstance(scheme, TrainableIndexingScheme):
+            scheme.fit(trace.addresses)
+        try:
+            results = simulate_policy_sweep(
+                scheme, trace, geometry, policy_list, seed=args.policy_seed
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for policy, res in zip(policy_list, results):
+            print(
+                f"  {scheme.name:16s} {policy:>6} "
+                f"miss_rate={res.miss_rate:.4f} misses={res.misses}"
+            )
     return 0
 
 

@@ -14,6 +14,12 @@ The protocol is deliberately tiny:
 
 Policies are deterministic given their seed; ``RandomPolicy`` takes an
 explicit RNG seed so simulations reproduce bit-for-bit.
+
+Tie-break determinism is part of each policy's contract (the fast replay
+kernels in :mod:`repro.core.fastpolicy` replicate it exactly, and
+``tests/core/test_replacement.py`` locks it down): every argmin/argmax
+victim walk resolves ties toward the **lowest way index**, and
+``RandomPolicy`` replays word-for-word across ``reset()``.
 """
 
 from __future__ import annotations
@@ -89,7 +95,15 @@ class LRUPolicy(ReplacementPolicy):
 
 
 class FIFOPolicy(ReplacementPolicy):
-    """First-in first-out: only fills advance a line's age."""
+    """First-in first-out: only fills advance a line's age.
+
+    The clock is global across sets; within one set the victim is the way
+    with the oldest (re)fill, ``np.argmin`` resolving the never-filled
+    ``-1`` stamps toward the lowest way index.  Since cold fills take the
+    lowest empty way first (see ``SetAssociativeCache``), a full set's
+    victims cycle through the ways in fill order — the rotation the FIFO
+    fast kernel exploits.
+    """
 
     name = "fifo"
 
@@ -114,7 +128,15 @@ class FIFOPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform random victim with an explicit seed for reproducibility."""
+    """Uniform random victim with an explicit seed for reproducibility.
+
+    One seeded PCG64 generator serves **all** sets, so the victim sequence
+    is coupled to the global interleaving of evictions (the property that
+    forces the fast kernel to replay in program order rather than per set).
+    ``reset()`` restores the generator to its seed, making the draw stream
+    word-for-word identical across resets; only ``victim()`` consumes
+    randomness (touches and fills never do).
+    """
 
     name = "random"
 
@@ -138,7 +160,10 @@ class PLRUPolicy(ReplacementPolicy):
 
     Requires ``ways`` to be a power of two.  Each set keeps ``ways - 1``
     internal tree bits; a touch flips the bits along the path *away* from the
-    touched way, and the victim walk follows the bits.
+    touched way, and the victim walk follows the bits.  Fully deterministic:
+    all-zero bits steer the first victim walk to way 0, and re-touching the
+    most recently touched way is idempotent (it rewrites the same bits) —
+    the property that lets the fast kernel collapse hit runs.
     """
 
     name = "plru"
@@ -169,7 +194,13 @@ class PLRUPolicy(ReplacementPolicy):
 
 
 class MRUPolicy(ReplacementPolicy):
-    """Evict the most-recently-used line (useful for streaming workloads)."""
+    """Evict the most-recently-used line (useful for streaming workloads).
+
+    Never-touched ways (stamp ``-1``) are filled first, lowest index first;
+    once every way is touched the victim is ``np.argmax`` over the stamps —
+    unique because the clock is strictly increasing, so the victim is
+    exactly the way touched by the set's previous access.
+    """
 
     name = "mru"
 
@@ -195,7 +226,13 @@ class MRUPolicy(ReplacementPolicy):
 
 
 class LFUPolicy(ReplacementPolicy):
-    """Evict the least-frequently-used line; ties break toward lower ways."""
+    """Evict the least-frequently-used line; ties break toward lower ways.
+
+    ``touch`` increments a per-(set, way) count, ``fill`` resets it to 1
+    (the new line's first use), and ``victim`` is ``np.argmin`` over the
+    counts — the *first* way of minimal count, so equal-count ties always
+    resolve toward the lowest way index.
+    """
 
     name = "lfu"
 

@@ -186,6 +186,7 @@ def simulate_set_associative(
     ways: int | None = None,
     policy: str = "lru",
     warmup: int = 0,
+    policy_seed: int = 0,
 ) -> SimulationResult:
     """Vectorised k-way LRU simulation under an indexing scheme.
 
@@ -196,14 +197,26 @@ def simulate_set_associative(
     Python loop.  ``ways`` defaults to the geometry's associativity;
     ``ways=1`` uses the cheaper direct-mapped adjacent-compare path.
 
-    Only LRU replacement admits an exact offline solution (the Mattson
-    inclusion property); any other ``policy`` raises — use the sequential
-    :func:`simulate` engine for FIFO/random/PLRU models.
+    Only LRU admits the re-thresholdable stack-distance solution (the
+    Mattson inclusion property); any other registered ``policy`` routes to
+    the exact set-decomposed replay kernels of
+    :func:`~repro.core.fastpolicy.simulate_policy_set_associative`
+    (``policy_seed`` seeds the ``random`` policy's generator there).  The
+    non-LRU path models the geometry's own associativity, so combining it
+    with a ``ways`` override — the one configuration with no cache-model
+    equivalent — still raises, as does an unknown policy name.
     """
     if policy != "lru":
-        raise ValueError(
-            f"the vectorised k-way path is exact only for LRU; got policy "
-            f"{policy!r} — drive SetAssociativeCache through simulate() instead"
+        from .fastpolicy import simulate_policy_set_associative
+
+        return simulate_policy_set_associative(
+            scheme,
+            trace,
+            geometry=geometry,
+            ways=ways,
+            policy=policy,
+            seed=policy_seed,
+            warmup=warmup,
         )
     geometry = geometry or scheme.geometry
     ways = geometry.ways if ways is None else int(ways)

@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     ext_hybrid,
     ext_icache,
     ext_patel,
+    ext_policy,
     ext_three_c,
     fig01_nonuniformity,
     fig04_indexing_missrate,

@@ -85,6 +85,13 @@ class PaperConfig:
     #: Set to 0 to train on the evaluation trace itself.
     profile_seed_offset: int = 77
 
+    #: Seed of the ``random`` replacement policy's generator (the policy
+    #: axis of ``ext-policy`` and ``policysweep`` cells).  Changes outcomes
+    #: for random-policy cells, so ``make_cell`` folds it into those cells'
+    #: params (hence their result-cache keys); cells of every other policy
+    #: ignore it.
+    policy_seed: int = 0
+
     # On-disk trace cache (regeneration is the slow part of a sweep).
     trace_cache_dir: Path = field(default_factory=lambda: Path(".trace_cache"))
     #: Byte budget of the process-wide trace arena (the bounded LRU of

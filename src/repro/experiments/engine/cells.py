@@ -43,6 +43,16 @@ Cell kinds
     column-associative take the fastassoc engine under ``auto``; the
     remaining stateful structures (skewed, victim, adaptive, Belady) are
     driven by the sequential reference engine.
+``policysweep``
+    One point of a replacement-policy sweep (label ``<scheme>:<policy>``,
+    e.g. ``xor:plru``): the config geometry's k-way cache under an
+    untrainable indexing scheme and any registered replacement policy,
+    simulated by the exact set-decomposed replay kernels of
+    :mod:`repro.core.fastpolicy` under ``config.engine == "auto"`` and by
+    the sequential reference loop under ``"sequential"``.  Cells identical
+    up to the policy form the engine's "policy" sweep-family axis: one
+    decode + one index computation + one set-grouping pass answers the
+    whole policy grid.
 """
 
 from __future__ import annotations
@@ -52,6 +62,8 @@ from dataclasses import dataclass
 
 from ...core.caches import ColumnAssociativeCache
 from ...core.fastassoc import simulate_progassoc
+from ...core.fastpolicy import simulate_policy_set_associative
+from ...core.replacement import POLICIES
 from ...core.indexing import (
     GivargisIndexing,
     GivargisXorIndexing,
@@ -77,6 +89,9 @@ __all__ = [
     "timed_execute_cell",
     "kernel_cell_spec",
     "build_kernel_scheme",
+    "PolicySpec",
+    "policy_cell_spec",
+    "build_policy_scheme",
     "CellExecutionError",
     "CELL_KINDS",
 ]
@@ -89,6 +104,7 @@ CELL_KINDS = (
     "setassoc",
     "assocsweep",
     "bounds",
+    "policysweep",
 )
 
 #: ``setassoc``/``bounds`` labels handled by the vectorised k-way LRU kernel.
@@ -97,12 +113,35 @@ _WAYS_LABELS = {"2way": 2, "4way": 4, "8way": 8}
 #: Indexing-cell labels that require an off-line profiling (training) run.
 _TRAINABLE_LABELS = frozenset({"Givargis", "Givargis_Xor"})
 
+#: Schemes a ``policysweep`` label may name.  Untrainable only: every member
+#: of a policy sweep must see the same index stream with no profiling run.
+_POLICY_SCHEMES = ("modulo", "xor", "odd_multiplier", "prime_modulo")
+
 
 def _parse_ways_label(label: str) -> int | None:
     """``"<k>way"`` → ``k`` (``"8way"`` → 8), else ``None``."""
     if label.endswith("way") and label[:-3].isdigit():
         return int(label[:-3])
     return None
+
+
+def _parse_policy_label(label: str) -> tuple[str, str]:
+    """``"<scheme>:<policy>"`` → the validated pair; raises on bad labels."""
+    scheme_name, sep, policy = label.partition(":")
+    if not sep or not scheme_name or not policy:
+        raise ValueError(
+            f"unknown policy-sweep cell label {label!r} (expected '<scheme>:<policy>')"
+        )
+    if scheme_name not in _POLICY_SCHEMES:
+        raise ValueError(
+            f"policy-sweep scheme {scheme_name!r} not supported; "
+            f"known: {_POLICY_SCHEMES}"
+        )
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown replacement policy {policy!r}; known: {sorted(POLICIES)}"
+        )
+    return scheme_name, policy
 
 
 class CellExecutionError(RuntimeError):
@@ -195,6 +234,14 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
             params.append(("protect_conventional", config.protect_conventional))
         elif label != "Belady":
             raise ValueError(f"unknown bounds cell label {label!r}")
+    elif kind == "policysweep":
+        scheme_name, policy = _parse_policy_label(label)
+        if scheme_name == "odd_multiplier":
+            params.append(("odd_multiplier", config.odd_multiplier))
+        if policy == "random":
+            # The generator seed changes random-policy outcomes, so it must
+            # reach the result-cache key; other policies ignore it.
+            params.append(("policy_seed", config.policy_seed))
     return SimCell(
         kind=kind,
         workload=workload,
@@ -351,6 +398,16 @@ def execute_cell(
     if cell.kind == "assocsweep":
         gk = g.with_fixed_sets(cell.ways)
         return simulate_set_associative(ModuloIndexing(gk), trace, gk)
+    if cell.kind == "policysweep":
+        scheme, gp = build_policy_scheme(cell, config)
+        return simulate_policy_set_associative(
+            scheme,
+            trace,
+            gp,
+            policy=cell.policy,
+            seed=config.policy_seed,
+            engine=config.engine,
+        )
     if cell.kind in ("setassoc", "bounds"):
         return _execute_bounds_cell(cell, trace, config)
     if cell.kind == "progassoc":
@@ -480,3 +537,53 @@ def build_kernel_scheme(cell: SimCell, config: PaperConfig, profile_path=None):
         gk = g.with_ways(_WAYS_LABELS[cell.label])
         return ModuloIndexing(gk), gk
     raise ValueError(f"cell ({cell.workload}, {cell.label}) is not a kernel cell")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """How one cell maps onto the shared policy-sweep decomposition.
+
+    ``signature`` names everything *but* the policy that shapes the cell's
+    outcome: the scheme identity and parameters, the geometry's mapping
+    and associativity, and the random-policy seed.  Two same-workload
+    cells with equal signatures see byte-identical grouped access streams,
+    so one set-decomposition pass feeds every member's policy kernel — the
+    exactness condition of the "policy" batching axis.
+    """
+
+    signature: tuple
+    policy: str
+
+
+def policy_cell_spec(cell: SimCell, config: PaperConfig) -> PolicySpec | None:
+    """Classify a cell for the shared policy-sweep path; ``None`` = not one.
+
+    Only ``policysweep`` cells qualify (their label pins an untrainable
+    scheme, so the index stream is a pure function of (workload, config));
+    the LRU member of a policy grid batches here too — the replay kernel
+    is exact for LRU as well, and keeping the grid together is the point.
+    """
+    if cell.kind != "policysweep":
+        return None
+    g = config.geometry
+    scheme_name = cell.label.partition(":")[0]
+    sig: list = [scheme_name]
+    if scheme_name == "odd_multiplier":
+        sig.append(config.odd_multiplier)
+    sig += [g.num_sets, g.offset_bits, g.address_bits, g.ways, config.policy_seed]
+    return PolicySpec(tuple(sig), cell.policy)
+
+
+def build_policy_scheme(cell: SimCell, config: PaperConfig):
+    """Build the (scheme, geometry) a ``policysweep`` cell simulates under."""
+    g = config.geometry
+    scheme_name = cell.label.partition(":")[0]
+    if scheme_name == "modulo":
+        return ModuloIndexing(g), g
+    if scheme_name == "xor":
+        return XorIndexing(g), g
+    if scheme_name == "odd_multiplier":
+        return OddMultiplierIndexing(g, config.odd_multiplier), g
+    if scheme_name == "prime_modulo":
+        return PrimeModuloIndexing(g), g
+    raise ValueError(f"cell ({cell.workload}, {cell.label}) is not a policy cell")

@@ -14,6 +14,17 @@ two axes, and executes each family as one unit:
     associativity sweep (the ``assocsweep`` cells of ``ext-assoc``, or the
     CLI's ``sweep --ways 1,2,4,8``) costs ~one cell.
 
+``policy`` (the replacement-policy axis)
+    ``policysweep`` cells of one workload whose :class:`~.cells.PolicySpec`
+    signatures are equal (same scheme, mapping, associativity and random
+    seed — everything but the policy) share one trace decode, one index
+    computation and one set-decomposition pass; each member's policy then
+    replays its own exact kernel off the shared grouped arrays
+    (:func:`~repro.core.fastpolicy.simulate_policy_sweep`).  A whole
+    policy grid (the ``ext-policy`` experiment, or the CLI's
+    ``sweep --policy lru,fifo,plru,...``) costs one decomposition plus the
+    cheap per-policy replays.
+
 ``decode`` (the shared-trace axis)
     Remaining cells of one workload are batched into a single execution
     unit: the trace is opened once per process (via the trace arena)
@@ -45,13 +56,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ...core.fastpolicy import simulate_policy_sweep
 from ...core.simulator import SimulationResult, simulate_lru_sweep
 from ..config import PaperConfig
 from .cells import (
     SimCell,
     _trace_at,
     build_kernel_scheme,
+    build_policy_scheme,
     kernel_cell_spec,
+    policy_cell_spec,
     timed_execute_cell,
 )
 
@@ -62,7 +76,8 @@ __all__ = ["SweepFamily", "detect_families", "execute_family"]
 class SweepFamily:
     """One batched execution unit: cells provably answerable together."""
 
-    #: ``"assoc"`` (shared stack-distance pass), ``"decode"`` (shared trace
+    #: ``"assoc"`` (shared stack-distance pass), ``"policy"`` (shared
+    #: set-decomposition, per-policy kernels), ``"decode"`` (shared trace
     #: decode, per-member execution) or ``"single"`` (fallback).
     axis: str
     workload: str
@@ -81,16 +96,20 @@ def detect_families(
     """Partition a cell list into sweep families.
 
     Grouping never mixes workloads (hence traces), kernel signatures
-    (hence index mappings) or replacement policies: the ``assoc`` axis
-    groups by ``(workload, KernelSpec.signature)`` — the signature embeds
-    the scheme identity and the policy gate is inside
-    :func:`~.cells.kernel_cell_spec` — and the ``decode`` axis only ever
-    groups by workload, leaving each member's own execution path intact.
+    (hence index mappings) or — on the assoc axis — replacement policies:
+    the ``assoc`` axis groups by ``(workload, KernelSpec.signature)`` — the
+    signature embeds the scheme identity and the policy gate is inside
+    :func:`~.cells.kernel_cell_spec`; the ``policy`` axis groups by
+    ``(workload, PolicySpec.signature)`` — members *differ* in policy by
+    construction but share everything else; and the ``decode`` axis only
+    ever groups by workload, leaving each member's own execution path
+    intact.
 
     ``config.batch_sweeps=False`` degenerates to all-singleton families;
-    the ``assoc`` axis additionally requires ``config.engine == "auto"``
-    (the same discipline as every other vectorised fast path — forcing
-    ``"sequential"`` keeps per-cell reference execution).
+    the ``assoc`` and ``policy`` axes additionally require
+    ``config.engine == "auto"`` (the same discipline as every other
+    vectorised fast path — forcing ``"sequential"`` keeps per-cell
+    reference execution).
     """
     cells = list(dict.fromkeys(cells))  # dedupe, preserving declaration order
     if not config.batch_sweeps:
@@ -109,6 +128,19 @@ def detect_families(
             if len(members) >= 2:
                 families.append(
                     SweepFamily("assoc", workload, tuple(members), sig)
+                )
+                assoc_members.update(members)
+        policy_groups: dict[tuple, list[SimCell]] = {}
+        for cell in cells:
+            spec = policy_cell_spec(cell, config)
+            if spec is not None:
+                policy_groups.setdefault(
+                    (cell.workload, spec.signature), []
+                ).append(cell)
+        for (workload, sig), members in policy_groups.items():
+            if len(members) >= 2:
+                families.append(
+                    SweepFamily("policy", workload, tuple(members), sig)
                 )
                 assoc_members.update(members)
     decode_groups: dict[str, list[SimCell]] = {}
@@ -143,7 +175,7 @@ def execute_family(
     (the same discipline as :class:`~.cells.CellExecutionError`).
     """
     completed: list[tuple[SimCell, SimulationResult, float]] = []
-    if family.axis == "assoc":
+    if family.axis in ("assoc", "policy"):
         first = family.members[0]
         t0 = time.perf_counter()
         try:
@@ -153,13 +185,23 @@ def execute_family(
                 from ..runner import workload_trace
 
                 trace = workload_trace(family.workload, config)
-            scheme, geometry = build_kernel_scheme(
-                first, config, profile_path if first.needs_profile else None
-            )
-            specs = [kernel_cell_spec(cell, config) for cell in family.members]
-            results = simulate_lru_sweep(
-                scheme, trace, geometry, [(s.ways, s.style) for s in specs]
-            )
+            if family.axis == "assoc":
+                scheme, geometry = build_kernel_scheme(
+                    first, config, profile_path if first.needs_profile else None
+                )
+                specs = [kernel_cell_spec(cell, config) for cell in family.members]
+                results = simulate_lru_sweep(
+                    scheme, trace, geometry, [(s.ways, s.style) for s in specs]
+                )
+            else:
+                scheme, geometry = build_policy_scheme(first, config)
+                results = simulate_policy_sweep(
+                    scheme,
+                    trace,
+                    geometry,
+                    [cell.policy for cell in family.members],
+                    seed=config.policy_seed,
+                )
         except Exception as exc:  # attributed in the parent, never re-raised here
             return completed, (first.workload, first.label, str(exc))
         # The pass is shared; bill its wall time evenly across the members.

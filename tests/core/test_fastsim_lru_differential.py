@@ -291,10 +291,26 @@ class TestSetAssociativeVsSequentialEngine:
         slow = simulate(SetAssociativeCache(g2, policy="lru"), trace)
         assert overridden.misses == slow.misses
 
-    def test_non_lru_policy_rejected(self):
-        with pytest.raises(ValueError, match="LRU"):
+    def test_non_lru_policy_routes_to_policy_kernels(self):
+        # Non-LRU policies no longer raise: they route through the
+        # fastpolicy dispatcher and must agree with the sequential engine
+        # (the full contract lives in test_fastpolicy_differential.py).
+        trace = random_trace(SMALL, n=2000, seed=13)
+        fast = simulate_set_associative(
+            ModuloIndexing(SMALL), trace, SMALL, policy="fifo"
+        )
+        slow = simulate(SetAssociativeCache(SMALL, policy="fifo"), trace)
+        assert (fast.accesses, fast.hits, fast.misses) == (
+            slow.accesses,
+            slow.hits,
+            slow.misses,
+        )
+        np.testing.assert_array_equal(fast.slot_misses, slow.slot_misses)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
             simulate_set_associative(
-                ModuloIndexing(SMALL), random_trace(SMALL, n=10), SMALL, policy="fifo"
+                ModuloIndexing(SMALL), random_trace(SMALL, n=10), SMALL, policy="belady"
             )
 
     def test_ways_one_matches_direct_mapped_cache(self):

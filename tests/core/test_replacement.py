@@ -151,6 +151,103 @@ class TestMRU:
         assert p.victim(0) == 1
 
 
+class TestTieBreakContracts:
+    """Lock the tie-break determinism the fastpolicy kernels replicate.
+
+    The module docstring of :mod:`repro.core.replacement` promises that
+    every argmin/argmax victim walk resolves ties toward the lowest way
+    index and that ``RandomPolicy`` replays word-for-word across
+    ``reset()``.  These regressions pin that contract: if any of them
+    breaks, :mod:`repro.core.fastpolicy` is no longer bit-exact.
+    """
+
+    def test_lfu_equal_counts_pick_lowest_way(self):
+        p = LFUPolicy(1, 4)
+        for way in range(4):
+            p.touch(0, way)  # all counts equal (1)
+        assert p.victim(0) == 0
+        p.touch(0, 0)  # way 0 now ahead; 1..3 tie at 1
+        assert p.victim(0) == 1
+
+    def test_lfu_zero_count_ties_pick_lowest_way(self):
+        assert LFUPolicy(1, 4).victim(0) == 0
+
+    def test_fifo_never_filled_ties_pick_lowest_way(self):
+        p = FIFOPolicy(1, 4)
+        assert p.victim(0) == 0
+        p.fill(0, 0)
+        assert p.victim(0) == 1  # ways 1..3 still tie at -1
+
+    def test_mru_untouched_ties_pick_lowest_way(self):
+        p = MRUPolicy(1, 4)
+        assert p.victim(0) == 0
+        p.touch(0, 2)
+        assert p.victim(0) == 0  # untouched {0,1,3}: lowest first
+
+    def test_mru_full_victim_is_previous_touch(self):
+        # The strictly increasing clock makes argmax unique: the victim is
+        # exactly the way of the set's previous touch (the reduction the
+        # MRU fast kernel relies on).
+        p = MRUPolicy(1, 4)
+        rng = np.random.default_rng(3)
+        for way in range(4):
+            p.touch(0, way)
+        for way in rng.integers(0, 4, size=60):
+            p.touch(0, int(way))
+            assert p.victim(0) == int(way)
+
+    def test_lru_untouched_ties_pick_lowest_way(self):
+        p = LRUPolicy(1, 4)
+        p.touch(0, 1)
+        assert p.victim(0) == 0  # untouched {0,2,3} tie at -1
+
+    def test_plru_all_zero_bits_walk_to_way_zero(self):
+        for ways in (1, 2, 4, 8):
+            assert PLRUPolicy(1, ways).victim(0) == 0, ways
+
+    def test_plru_retouch_idempotent(self):
+        # Re-touching the most recent way rewrites the same bits — the
+        # property that lets the fast kernel collapse hit runs.
+        p = PLRUPolicy(1, 8)
+        rng = np.random.default_rng(5)
+        for way in rng.integers(0, 8, size=40):
+            p.touch(0, int(way))
+            before = p._bits.copy()
+            p.touch(0, int(way))
+            np.testing.assert_array_equal(p._bits, before)
+
+    def test_random_victim_sequence_word_exact_across_reset(self):
+        # The exact draw stream (not just its distribution) is contract:
+        # the Random fast kernel reconstructs the post-run generator by
+        # advancing a fresh one, which is only exact if reset() replays
+        # word-for-word.
+        p = RandomPolicy(4, 8, seed=2011)
+        first = [p.victim(i % 4) for i in range(64)]
+        state = p._rng.bit_generator.state
+        p.reset()
+        assert [p.victim(i % 4) for i in range(64)] == first
+        assert p._rng.bit_generator.state == state
+
+    def test_random_touch_and_fill_consume_no_randomness(self):
+        p = RandomPolicy(2, 4, seed=9)
+        state = p._rng.bit_generator.state
+        p.touch(0, 1)
+        p.fill(1, 2)
+        assert p._rng.bit_generator.state == state
+
+    def test_random_bulk_draws_match_scalar(self):
+        # NumPy's bulk integers() must consume the PCG64 stream exactly
+        # like scalar draws (the Random kernel's bulk mode; fastpolicy
+        # probes this at runtime and falls back if it ever changes).
+        for ways in (2, 4, 8):
+            a = np.random.default_rng(42)
+            b = np.random.default_rng(42)
+            scal = [int(a.integers(ways)) for _ in range(50)]
+            bulk = b.integers(ways, size=50).tolist()
+            assert scal == bulk, ways
+            assert a.bit_generator.state == b.bit_generator.state, ways
+
+
 class TestLFU:
     def test_evicts_least_frequent(self):
         p = LFUPolicy(1, 3)

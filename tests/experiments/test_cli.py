@@ -65,9 +65,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "4-way" in out and "miss_rate" in out
 
-    def test_sweep_rejects_non_lru_policy(self, capsys):
+    def test_sweep_single_non_lru_policy(self, capsys):
+        # Non-LRU policies are first-class now (routed through the
+        # fastpolicy kernels); only the Mattson ways-ladder stays LRU-only.
         assert main(["sweep", "--workload", "crc", "--refs", "3000",
                      "--schemes", "modulo", "--ways", "2",
+                     "--policy", "fifo"]) == 0
+        out = capsys.readouterr().out
+        assert "2-way" in out and "miss_rate" in out
+
+    def test_sweep_policy_list(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo", "--ways", "2",
+                     "--policy", "lru,fifo,random"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("lru", "fifo", "random"):
+            assert policy in out
+
+    def test_sweep_rejects_unknown_policy(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo",
+                     "--policy", "lru,belady"]) == 2
+        err = capsys.readouterr().err
+        assert "belady" in err
+
+    def test_sweep_ways_ladder_stays_lru_only(self, capsys):
+        assert main(["sweep", "--workload", "crc", "--refs", "3000",
+                     "--schemes", "modulo", "--ways", "1,2,4",
                      "--policy", "fifo"]) == 2
         err = capsys.readouterr().err
         assert "LRU" in err

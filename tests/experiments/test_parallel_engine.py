@@ -362,6 +362,59 @@ class TestCacheKeyAudit:
         _, warm2 = run_cells(cells, config, jobs=1, result_cache=reverse)
         assert (warm2.cache_hits, warm2.cache_misses) == (len(cells), 0)
 
+    def test_policy_distinguishes_keys(self, config):
+        keys = {
+            self._key(make_cell("policysweep", "crc", f"modulo:{p}", config), config)
+            for p in ("lru", "fifo", "plru", "mru", "lfu", "random")
+        }
+        assert len(keys) == 6
+
+    def test_policy_seed_in_keys_for_random_cells_only(self, config):
+        other = replace(config, policy_seed=7)
+        rand_a = make_cell("policysweep", "crc", "modulo:random", config)
+        rand_b = make_cell("policysweep", "crc", "modulo:random", other)
+        assert ("policy_seed", 0) in rand_a.params
+        assert ("policy_seed", 7) in rand_b.params
+        assert self._key(rand_a, config) != self._key(rand_b, config)
+        # Deterministic policies ignore the seed: same cell, same key.
+        det_a = make_cell("policysweep", "crc", "modulo:fifo", config)
+        det_b = make_cell("policysweep", "crc", "modulo:fifo", other)
+        assert det_a == det_b
+        assert self._key(det_a, config) == self._key(det_b, config)
+
+    def test_policy_batching_is_not_in_keys(self, config):
+        """The policy axis is an execution knob like batch_sweeps: batched
+        and per-cell policysweep runs must share cache entries."""
+        for label in ("modulo:fifo", "xor:random"):
+            batched = make_cell("policysweep", "crc", label, config)
+            plain = make_cell(
+                "policysweep", "crc", label, replace(config, batch_sweeps=False)
+            )
+            assert batched == plain, label
+            assert self._key(batched, config) == self._key(plain, config)
+
+    def test_warm_cache_survives_policy_batching_switch(self, config):
+        """Entries written by a batched policy family must serve the
+        per-cell run and vice versa — both directions, zero recomputation."""
+        labels = [f"modulo:{p}" for p in ("lru", "fifo", "plru", "random")]
+        cells = [make_cell("policysweep", "crc", lab, config) for lab in labels]
+        cache = ResultCache(config.result_cache_path)
+        _, cold = run_cells(cells, config, jobs=1, result_cache=cache)
+        assert cold.cache_misses == len(cells)
+        assert cold.families_batched == 1 and cold.cells_batched == len(cells)
+        plain_cfg = replace(config, batch_sweeps=False)
+        plain_cells = [
+            make_cell("policysweep", "crc", lab, plain_cfg) for lab in labels
+        ]
+        _, warm = run_cells(plain_cells, plain_cfg, jobs=1, result_cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (len(cells), 0)
+        assert warm.families_batched == 0
+        reverse = ResultCache(config.result_cache_path.parent / "rc_pol_reverse")
+        _, cold2 = run_cells(plain_cells, plain_cfg, jobs=1, result_cache=reverse)
+        assert cold2.cache_misses == len(cells) and cold2.cells_batched == 0
+        _, warm2 = run_cells(cells, config, jobs=1, result_cache=reverse)
+        assert (warm2.cache_hits, warm2.cache_misses) == (len(cells), 0)
+
 
 class TestTracePathTransfer:
     """Workers consume trace paths, not pickled address arrays."""

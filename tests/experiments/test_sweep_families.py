@@ -33,6 +33,7 @@ from repro.experiments.engine import (
     plan_cells,
     run_cells,
 )
+from repro.experiments.engine.cells import policy_cell_spec
 
 BASE_CONFIG = PaperConfig()
 
@@ -58,6 +59,12 @@ CELL_SHAPES = [
     ("assocsweep", "4way"),
     ("assocsweep", "8way"),
     ("assocsweep", "16way"),
+    ("policysweep", "modulo:lru"),
+    ("policysweep", "modulo:fifo"),
+    ("policysweep", "modulo:plru"),
+    ("policysweep", "modulo:random"),
+    ("policysweep", "xor:mru"),
+    ("policysweep", "xor:lfu"),
 ]
 
 WORKLOADS = ["crc", "fft", "sha", "qsort"]
@@ -102,6 +109,16 @@ class TestPartitionProperty:
                 assert all(s is not None for s in specs)
                 assert {s.signature for s in specs} == {fam.signature}
                 assert all(c.policy == "lru" for c in fam.members)
+            elif fam.axis == "policy":
+                # The policy axis: one shared PolicySpec signature (scheme,
+                # mapping, geometry, seed), members differing *only* in
+                # policy — each policy at most once (duplicates would be
+                # identical cells, deduplicated upstream).
+                specs = [policy_cell_spec(c, config) for c in fam.members]
+                assert all(s is not None for s in specs)
+                assert {s.signature for s in specs} == {fam.signature}
+                policies = [c.policy for c in fam.members]
+                assert len(set(policies)) == len(policies)
             else:
                 assert fam.signature is None
 
@@ -115,7 +132,7 @@ class TestPartitionProperty:
 
     @settings(max_examples=60, deadline=None)
     @given(cells=grid_strategy)
-    def test_sequential_engine_never_forms_assoc_families(self, cells):
+    def test_sequential_engine_never_forms_assoc_or_policy_families(self, cells):
         config = replace(BASE_CONFIG, engine="sequential", batch_sweeps=True)
         families = detect_families(cells, config)
         assert all(f.axis in ("decode", "single") for f in families)
@@ -153,6 +170,35 @@ class TestDetectionShapes:
             ("assoc", "crc"),
             ("assoc", "fft"),
         ]
+
+    def test_policy_ladder_is_one_policy_family(self):
+        """The ext-policy grid: same scheme, every policy — one
+        set-decomposition pass."""
+        cells = [
+            make_cell("policysweep", "crc", f"modulo:{p}", BASE_CONFIG)
+            for p in ("lru", "fifo", "plru", "mru", "lfu", "random")
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "policy" and len(fam.members) == 6
+
+    def test_policy_families_never_mix_schemes(self):
+        cells = [
+            make_cell("policysweep", "crc", f"{scheme}:{p}", BASE_CONFIG)
+            for scheme in ("modulo", "xor")
+            for p in ("lru", "fifo")
+        ]
+        fams = detect_families(cells, BASE_CONFIG)
+        assert len(fams) == 2
+        assert all(f.axis == "policy" and len(f.members) == 2 for f in fams)
+        assert len({f.signature for f in fams}) == 2
+
+    def test_lone_policy_cell_rides_the_decode_axis(self):
+        cells = [
+            make_cell("policysweep", "crc", "modulo:fifo", BASE_CONFIG),
+            make_cell("indexing", "crc", "XOR", BASE_CONFIG),
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "decode"
 
     def test_non_kernel_cells_ride_the_decode_axis(self):
         cells = [
@@ -226,3 +272,35 @@ class TestMidBatchFailure:
         assert "(crc, 2way)" in str(exc.value)
         assert "kernel exploded" in str(exc.value)
         assert exc.value.__cause__ is not None
+
+    def test_policy_family_failure_attributed_to_first_member(self, config, monkeypatch):
+        cells = [
+            make_cell("policysweep", "crc", f"modulo:{p}", config)
+            for p in ("lru", "fifo", "plru")
+        ]
+        monkeypatch.setattr(
+            "repro.experiments.engine.families.simulate_policy_sweep",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("policy kernel exploded")),
+        )
+        with pytest.raises(CellExecutionError) as exc:
+            run_cells(cells, config, jobs=1)
+        assert "(crc, modulo:lru)" in str(exc.value)
+        assert "policy kernel exploded" in str(exc.value)
+        assert exc.value.__cause__ is not None
+
+    def test_policy_family_completes_without_batching_too(self, config):
+        """The same grid answered cell by cell under --no-batch: identical
+        results (the parity half lives in the differential suite; here the
+        engine must simply agree on the counters)."""
+        cells = [
+            make_cell("policysweep", "crc", f"modulo:{p}", config)
+            for p in ("lru", "fifo", "plru")
+        ]
+        batched, bstats = run_cells(cells, config, jobs=1)
+        unbatched, _ = run_cells(
+            cells, replace(config, batch_sweeps=False, use_result_cache=False), jobs=1
+        )
+        assert bstats.cells_batched == 3
+        for key, res in batched.items():
+            assert res.misses == unbatched[key].misses, key
+            assert res.hits == unbatched[key].hits, key
