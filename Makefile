@@ -29,14 +29,16 @@ bench:
 # generation + trace store + sweep batching + serving + cluster scaling)
 # and gate them against the committed BENCH_*.json baseline (>25%
 # slowdown on any canary fails).  The trace-gen, trace-store,
-# sweep-batching and cluster files also enforce machine-independent
-# speedup floors in-test (trace store: mmap >=5x over npz decode at 1M
-# refs; cluster: >=1.7x at 2 workers, >=3.0x at 4).
+# sweep-batching, policy-kernel, aux and cluster files also enforce
+# machine-independent speedup floors in-test (trace store: mmap >=5x over
+# npz decode at 1M refs; aux: miss-event replay >=5x over the sequential
+# wrapper at 1M refs; cluster: >=1.7x at 2 workers, >=3.0x at 4).
 bench-check:
 	$(PY) -m pytest benchmarks/test_engine_micro.py benchmarks/test_trace_gen.py \
 	  benchmarks/test_trace_store_bench.py \
 	  benchmarks/test_service_bench.py benchmarks/test_sweep_batching_bench.py \
 	  benchmarks/test_policy_kernel_bench.py \
+	  benchmarks/test_aux_bench.py \
 	  benchmarks/test_cluster_bench.py \
 	  --benchmark-only --benchmark-json=bench-candidate.json
 	$(PY) benchmarks/check_regression.py bench-candidate.json

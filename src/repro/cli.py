@@ -12,6 +12,7 @@
     repro-cache trace gc                   # evict npz entries migrated to raw
     repro-cache sweep --workload fft --schemes modulo,xor,prime_modulo
     repro-cache sweep --workload fft --ways 4        # k-way LRU fast path
+    repro-cache sweep --workload fft --aux vc,mc,sb --aux-lines 2,4,8
     repro-cache cache [--clear] [--clear-traces]   # inspect/clear on-disk caches
     repro-cache serve --port 7411 --jobs 4         # simulation job server
     repro-cache route --workers 127.0.0.1:7501,127.0.0.1:7502   # cluster router
@@ -164,6 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed of the 'random' policy's generator (default 0)",
+    )
+    sweep.add_argument(
+        "--aux",
+        default="",
+        help="auxiliary-structure sweep: comma list of combos (vc, mc, sb, "
+        "vc+sb, mc+sb) composed onto the direct-mapped cache; every "
+        "(combo, depth) point of one scheme shares ONE vectorised "
+        "main-array pass (needs --ways 1 and --policy lru)",
+    )
+    sweep.add_argument(
+        "--aux-lines",
+        default="4",
+        help="comma list of aux buffer depths to sweep (lines for vc/mc, "
+        "prefetch depth for sb; default 4)",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result/trace caches")
@@ -347,6 +362,35 @@ def _cmd_sweep(args) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    aux_list = [a.strip() for a in str(args.aux).split(",") if a.strip()]
+    if aux_list:
+        from .core.aux import AUX_COMBOS
+
+        for combo in aux_list:
+            if combo not in AUX_COMBOS:
+                print(
+                    f"error: unknown aux combo {combo!r}; known: "
+                    f"{', '.join(AUX_COMBOS)}",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            lines_list = [
+                int(d) for d in str(args.aux_lines).split(",") if d.strip()
+            ]
+        except ValueError:
+            print(f"error: invalid --aux-lines value {args.aux_lines!r}", file=sys.stderr)
+            return 2
+        if not lines_list or any(d < 1 for d in lines_list):
+            print("error: --aux-lines values must be positive", file=sys.stderr)
+            return 2
+        if ways_list != [1] or policy_list != ["lru"]:
+            print(
+                "error: --aux composes onto the direct-mapped cache "
+                "(needs --ways 1 and --policy lru)",
+                file=sys.stderr,
+            )
+            return 2
     if len(policy_list) > 1 and len(ways_list) > 1:
         print(
             "error: sweep one axis at a time — a comma list for --ways "
@@ -356,6 +400,8 @@ def _cmd_sweep(args) -> int:
         )
         return 2
     trace = get_workload(args.workload).generate(seed=args.seed, ref_limit=args.refs)
+    if aux_list:
+        return _cmd_sweep_aux(args, trace, aux_list, lines_list)
     if len(policy_list) > 1:
         return _cmd_sweep_policies(args, trace, ways_list[0], policy_list)
     if len(ways_list) > 1:
@@ -388,6 +434,39 @@ def _cmd_sweep(args) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         print(f"  {scheme.name:16s} miss_rate={res.miss_rate:.4f} misses={res.misses}")
+    return 0
+
+
+def _cmd_sweep_aux(args, trace, aux_list: list[str], lines_list: list[int]) -> int:
+    """Aux sweep: every (combo, depth) point over one vectorised main pass."""
+    from .core.aux import simulate_aux_sweep
+
+    geometry = PAPER_L1_GEOMETRY
+    specs = [(combo, depth) for combo in aux_list for depth in lines_list]
+    print(
+        f"{args.workload}: {len(trace)} refs, geometry {geometry.describe()}, "
+        f"aux {','.join(aux_list)} × lines {','.join(map(str, lines_list))} "
+        "from one main-array pass per scheme"
+    )
+    for name in args.schemes.split(","):
+        scheme = make_scheme(name.strip(), geometry)
+        if isinstance(scheme, TrainableIndexingScheme):
+            scheme.fit(trace.addresses)
+        try:
+            results = simulate_aux_sweep(scheme, trace, geometry, specs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for (combo, depth), res in zip(specs, results):
+            absorbed = sum(
+                res.extra.get(k, 0)
+                for k in ("victim_hits", "miss_cache_hits", "stream_hits")
+            )
+            print(
+                f"  {scheme.name:16s} {combo + str(depth):>8} "
+                f"miss_rate={res.miss_rate:.4f} misses={res.misses} "
+                f"absorbed={absorbed}"
+            )
     return 0
 
 

@@ -1,0 +1,41 @@
+"""Auxiliary cache structures (Jouppi 1990) as a composable subsystem.
+
+Small fully-associative helpers that sit beside a main cache array and
+absorb its conflict misses: the *victim cache* (holds evicted lines, swaps
+on hit), the *miss cache* (holds recently missed lines, duplicated with
+the main array) and *stream buffers* (N-deep sequential prefetch queues).
+Any base :class:`~repro.core.caches.base.CacheModel` is composed with one
+or more structures through :class:`AugmentedCache`, which attributes every
+hit to its servicing structure (``direct`` / ``victim`` / ``miss_cache`` /
+``stream``).
+
+Direct-mapped compositions take an exact replay fast path
+(:func:`simulate_augmented`, ``engine="auto"``) that vectorises the main
+array and replays only the miss events — see :mod:`repro.core.aux.fast`
+for the exactness argument.
+"""
+
+from .augmented import AugmentedCache
+from .fast import (
+    AUX_COMBOS,
+    has_aux_fast_path,
+    make_aux_structures,
+    simulate_augmented,
+    simulate_aux,
+    simulate_aux_sweep,
+)
+from .structures import AuxStructure, MissCache, StreamBuffer, VictimBuffer
+
+__all__ = [
+    "AuxStructure",
+    "VictimBuffer",
+    "MissCache",
+    "StreamBuffer",
+    "AugmentedCache",
+    "AUX_COMBOS",
+    "make_aux_structures",
+    "has_aux_fast_path",
+    "simulate_augmented",
+    "simulate_aux",
+    "simulate_aux_sweep",
+]

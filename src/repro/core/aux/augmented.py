@@ -1,0 +1,134 @@
+"""The composition wrapper: base cache × auxiliary structures.
+
+:class:`AugmentedCache` drives any base
+:class:`~repro.core.caches.base.CacheModel` and consults its auxiliary
+structures on every base miss, in composition order (probe priority).
+The wrapper owns the composed statistics — every access is attributed to
+its primary slot with a hit class naming the servicing structure
+(``direct``/``rehash``/... from the base on a base hit, the structure's
+``hit_class`` on an absorbed miss) — while the base model's own stats
+keep counting the *main-array view* (a base miss absorbed by a victim
+buffer is still a main-array miss), so both layers stay individually
+consistent and per-structure rates fall out of the ``extra`` counters.
+
+Semantics on a main-array miss (see :mod:`.structures` for the protocol):
+the structures are probed in order and the first hit services the access
+— the block is installed in the main array either way, because the base
+model already allocated it on its miss path (a victim-buffer hit is
+therefore a *swap*: the probe removed the block from the buffer and the
+displaced main-array line is offered to the eviction chain).  The line
+displaced from the main array flows down :meth:`AuxStructure.on_eviction`
+(a victim buffer absorbs it and yields its own overflow), so combined
+configurations route MC/SB-serviced displacements into the victim buffer
+too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..caches.base import AccessResult, CacheModel
+from .structures import AuxStructure
+
+__all__ = ["AugmentedCache"]
+
+
+class AugmentedCache(CacheModel):
+    """A base cache model composed with one or more auxiliary structures."""
+
+    name = "augmented"
+
+    def __init__(
+        self,
+        base: CacheModel,
+        structures: Sequence[AuxStructure],
+        name: str | None = None,
+    ):
+        structures = tuple(structures)
+        if not structures:
+            raise ValueError("an augmented cache needs at least one aux structure")
+        seen: set[str] = set()
+        for st in structures:
+            if st.name in seen:
+                raise ValueError(f"duplicate aux structure {st.name!r}")
+            seen.add(st.name)
+        super().__init__(base.geometry, num_slots=base.stats.num_slots)
+        self.base = base
+        self.structures = structures
+        #: Convenience mirror of the base's indexing scheme (when it has one).
+        self.indexing = getattr(base, "indexing", None)
+        self.name = name if name is not None else (
+            f"augmented[{base.name}+{'+'.join(st.label for st in structures)}]"
+        )
+
+    def _access_block(self, block: int, is_write: bool) -> AccessResult:
+        base = self.base
+        base.stats.accesses += 1
+        res = base._access_block(block, is_write)
+        slot = res.primary_slot
+        self.stats.record_probe(slot)
+        if res.hit:
+            self.stats.record_hit(slot, res.hit_class or "direct")
+            return res
+        stats = self.stats
+        structures = self.structures
+        hit_st = None
+        for st in structures:
+            if st.probe(block, stats):
+                hit_st = st
+                break
+        leaving = res.evicted_block
+        if leaving is not None:
+            for st in structures:
+                leaving = st.on_eviction(leaving, stats)
+                if leaving is None:
+                    break
+        for st in structures:
+            if st is not hit_st:
+                st.on_main_miss(block, stats)
+        if hit_st is not None:
+            stats.record_hit(slot, hit_st.hit_class)
+            return AccessResult(
+                True,
+                hit_st.hit_cycles,
+                slot,
+                slot,
+                evicted_block=leaving,
+                hit_class=hit_st.hit_class,
+            )
+        for st in structures:
+            st.on_full_miss(block, stats)
+        stats.record_miss(slot)
+        return AccessResult(False, 1, slot, slot, evicted_block=leaving)
+
+    # -- management ---------------------------------------------------------------
+
+    def contents(self) -> set[int]:
+        out = self.base.contents()
+        for st in self.structures:
+            out |= st.contents()
+        return out
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.base.reset_stats()
+
+    def flush(self) -> None:
+        self.base.flush()
+        for st in self.structures:
+            st.flush()
+
+    def check_invariants(self) -> None:
+        main = self.base.contents()
+        for st in self.structures:
+            if st.exclusive:
+                overlap = main & st.contents()
+                assert not overlap, (
+                    f"block resident in both main array and {st.name}: {overlap}"
+                )
+            st.check_invariants()
+        self.stats.check_invariants()
+
+    def describe(self) -> str:
+        aux = " + ".join(st.label for st in self.structures)
+        return f"{self.base.describe()} + {aux}"

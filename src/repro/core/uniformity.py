@@ -40,6 +40,10 @@ __all__ = [
     "normalized_entropy",
     "UniformityReport",
     "uniformity_report",
+    "AuxStructureReport",
+    "aux_structure_report",
+    "eviction_absorption",
+    "eviction_absorption_gini",
 ]
 
 
@@ -190,3 +194,83 @@ def uniformity_report(counts: np.ndarray) -> UniformityReport:
         below_half_pct=below,
         above_double_pct=above,
     )
+
+
+# -- auxiliary-structure metrics (ext-aux) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class AuxStructureReport:
+    """Per-structure effectiveness of one augmented-cache simulation.
+
+    Rates over *all* accesses (``victim_hit_rate`` etc.), plus the stream
+    buffers' classic prefetch quality pair — *coverage* (fraction of
+    would-be misses the streams serviced) and *accuracy* (fraction of
+    issued prefetches that were ever delivered) — and the overall
+    ``absorption_rate``: the fraction of main-array misses any structure
+    absorbed.
+    """
+
+    victim_hit_rate: float
+    miss_cache_hit_rate: float
+    stream_hit_rate: float
+    stream_coverage: float
+    stream_accuracy: float
+    absorption_rate: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "victim_hit_rate": self.victim_hit_rate,
+            "miss_cache_hit_rate": self.miss_cache_hit_rate,
+            "stream_hit_rate": self.stream_hit_rate,
+            "stream_coverage": self.stream_coverage,
+            "stream_accuracy": self.stream_accuracy,
+            "absorption_rate": self.absorption_rate,
+        }
+
+
+def aux_structure_report(result) -> AuxStructureReport:
+    """Per-structure metrics from a :class:`SimulationResult`'s counters.
+
+    Works on any result whose ``extra`` carries the aux hit classes
+    (``victim_hits`` / ``miss_cache_hits`` / ``stream_hits`` plus the
+    stream buffers' ``stream_prefetches``); absent classes report 0.0.
+    """
+    accesses = result.accesses or 0
+    vc = result.extra.get("victim_hits", 0)
+    mc = result.extra.get("miss_cache_hits", 0)
+    sb = result.extra.get("stream_hits", 0)
+    prefetches = result.extra.get("stream_prefetches", 0)
+    # Main-array misses = composed misses + everything the aux layer absorbed.
+    main_misses = result.misses + vc + mc + sb
+    return AuxStructureReport(
+        victim_hit_rate=vc / accesses if accesses else 0.0,
+        miss_cache_hit_rate=mc / accesses if accesses else 0.0,
+        stream_hit_rate=sb / accesses if accesses else 0.0,
+        stream_coverage=sb / (sb + result.misses) if (sb + result.misses) else 0.0,
+        stream_accuracy=sb / prefetches if prefetches else 0.0,
+        absorption_rate=(vc + mc + sb) / main_misses if main_misses else 0.0,
+    )
+
+
+def eviction_absorption(
+    baseline_misses: np.ndarray, augmented_misses: np.ndarray
+) -> np.ndarray:
+    """Per-set count of misses the aux layer absorbed: the baseline's
+    per-set misses minus the augmented run's, floored at zero (an aux
+    structure can reorder *which* set pays a cold miss, never add misses
+    under the same mapping)."""
+    base = np.asarray(baseline_misses, dtype=np.int64)
+    aug = np.asarray(augmented_misses, dtype=np.int64)
+    if base.shape != aug.shape:
+        raise ValueError("per-set miss arrays must have equal shape")
+    return np.maximum(base - aug, 0)
+
+
+def eviction_absorption_gini(
+    baseline_misses: np.ndarray, augmented_misses: np.ndarray
+) -> float:
+    """Gini of the per-set absorption distribution: 0 = the structure
+    relieves every set evenly, →1 = all absorbed misses came from a few
+    hot sets (the victim-cache signature on skewed mappings)."""
+    return gini_coefficient(eviction_absorption(baseline_misses, augmented_misses))

@@ -9,6 +9,7 @@ schematics with nothing to measure)::
 
 from . import (  # noqa: F401  (imported for registration side effects)
     ext_assoc,
+    ext_aux,
     ext_bounds,
     ext_dynamic,
     ext_hpc,

@@ -65,6 +65,15 @@ class PaperConfig:
     # Victim-cache comparator.
     victim_lines: int = 8
 
+    #: Stream-buffer shape for aux-structure cells (``auxsweep`` /
+    #: ``ext-aux``): number of prefetch queues and the allocate-on-miss
+    #: policy (``"miss"`` = allocate only on misses no structure serviced,
+    #: ``"always"`` = on every main-array miss).  Outcome-changing, so
+    #: ``make_cell`` folds both into the params (hence result-cache keys)
+    #: of every sb-containing aux cell; vc/mc-only cells ignore them.
+    aux_streams: int = 4
+    aux_allocate: str = "miss"
+
     #: Column-associative swap policy (Agarwal & Pudar): when ``True`` a
     #: conventional-location block is never displaced into its rehash
     #: position by an incoming rehash miss.  Changes outcomes, so it is

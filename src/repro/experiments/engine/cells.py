@@ -53,6 +53,15 @@ Cell kinds
     up to the policy form the engine's "policy" sweep-family axis: one
     decode + one index computation + one set-grouping pass answers the
     whole policy grid.
+``auxsweep``
+    One auxiliary-structure composition (label ``<scheme>:<combo><depth>``,
+    e.g. ``xor:vc4`` or ``modulo:vc+sb8``): a direct-mapped cache under an
+    untrainable indexing scheme augmented with victim-buffer / miss-cache /
+    stream-buffer structures (:mod:`repro.core.aux`), simulated by the
+    exact miss-event replay under ``config.engine == "auto"`` and by the
+    sequential reference wrapper under ``"sequential"``.  Aux cells ride
+    the engine's "decode" sweep-family axis (one shared trace open per
+    workload; the replay itself is already the fast path per cell).
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ...core.aux import AUX_COMBOS, simulate_aux
 from ...core.caches import ColumnAssociativeCache
 from ...core.fastassoc import simulate_progassoc
 from ...core.fastpolicy import simulate_policy_set_associative
@@ -92,6 +102,7 @@ __all__ = [
     "PolicySpec",
     "policy_cell_spec",
     "build_policy_scheme",
+    "build_aux_scheme",
     "CellExecutionError",
     "CELL_KINDS",
 ]
@@ -105,6 +116,7 @@ CELL_KINDS = (
     "assocsweep",
     "bounds",
     "policysweep",
+    "auxsweep",
 )
 
 #: ``setassoc``/``bounds`` labels handled by the vectorised k-way LRU kernel.
@@ -113,8 +125,8 @@ _WAYS_LABELS = {"2way": 2, "4way": 4, "8way": 8}
 #: Indexing-cell labels that require an off-line profiling (training) run.
 _TRAINABLE_LABELS = frozenset({"Givargis", "Givargis_Xor"})
 
-#: Schemes a ``policysweep`` label may name.  Untrainable only: every member
-#: of a policy sweep must see the same index stream with no profiling run.
+#: Schemes a ``policysweep`` or ``auxsweep`` label may name.  Untrainable
+#: only: every member must see the same index stream with no profiling run.
 _POLICY_SCHEMES = ("modulo", "xor", "odd_multiplier", "prime_modulo")
 
 
@@ -142,6 +154,33 @@ def _parse_policy_label(label: str) -> tuple[str, str]:
             f"unknown replacement policy {policy!r}; known: {sorted(POLICIES)}"
         )
     return scheme_name, policy
+
+
+def _parse_aux_label(label: str) -> tuple[str, str, int]:
+    """``"<scheme>:<combo><depth>"`` → the validated triple; raises on bad
+    labels (``"xor:vc4"`` → ``("xor", "vc", 4)``)."""
+    scheme_name, sep, spec = label.partition(":")
+    if not sep or not scheme_name or not spec:
+        raise ValueError(
+            f"unknown aux-sweep cell label {label!r} "
+            "(expected '<scheme>:<combo><depth>')"
+        )
+    if scheme_name not in _POLICY_SCHEMES:
+        raise ValueError(
+            f"aux-sweep scheme {scheme_name!r} not supported; "
+            f"known: {_POLICY_SCHEMES}"
+        )
+    combo = spec.rstrip("0123456789")
+    digits = spec[len(combo):]
+    if combo not in AUX_COMBOS:
+        raise ValueError(
+            f"unknown aux combo {combo!r} in label {label!r}; known: {AUX_COMBOS}"
+        )
+    if not digits or int(digits) < 1:
+        raise ValueError(
+            f"aux-sweep label {label!r} needs a positive depth suffix (e.g. 'vc4')"
+        )
+    return scheme_name, combo, int(digits)
 
 
 class CellExecutionError(RuntimeError):
@@ -242,6 +281,17 @@ def make_cell(kind: str, workload: str, label: str, config: PaperConfig) -> SimC
             # The generator seed changes random-policy outcomes, so it must
             # reach the result-cache key; other policies ignore it.
             params.append(("policy_seed", config.policy_seed))
+    elif kind == "auxsweep":
+        scheme_name, combo, _depth = _parse_aux_label(label)
+        if config.geometry.ways != 1:
+            raise ValueError("aux structures augment a direct-mapped geometry")
+        if scheme_name == "odd_multiplier":
+            params.append(("odd_multiplier", config.odd_multiplier))
+        if "sb" in combo.split("+"):
+            # Stream-buffer shape knobs change outcomes, so they must reach
+            # the result-cache key; vc/mc-only cells ignore them.
+            params.append(("aux_streams", config.aux_streams))
+            params.append(("aux_allocate", config.aux_allocate))
     return SimCell(
         kind=kind,
         workload=workload,
@@ -330,7 +380,13 @@ def _execute_bounds_cell(cell: SimCell, trace, config: PaperConfig) -> Simulatio
     if cell.label == "Skewed2":
         return simulate(SkewedAssociativeCache(g, ways=2), trace)
     if cell.label == "Victim8":
-        return simulate(VictimCache(g, victim_lines=config.victim_lines), trace)
+        from ...core.aux import simulate_augmented
+
+        return simulate_augmented(
+            VictimCache(g, victim_lines=config.victim_lines),
+            trace,
+            engine=config.engine,
+        )
     if cell.label == "Adaptive":
         return simulate_progassoc(
             AdaptiveGroupAssociativeCache(
@@ -406,6 +462,18 @@ def execute_cell(
             gp,
             policy=cell.policy,
             seed=config.policy_seed,
+            engine=config.engine,
+        )
+    if cell.kind == "auxsweep":
+        scheme, combo, depth, ga = build_aux_scheme(cell, config)
+        return simulate_aux(
+            scheme,
+            trace,
+            ga,
+            combo=combo,
+            depth=depth,
+            streams=config.aux_streams,
+            allocate=config.aux_allocate,
             engine=config.engine,
         )
     if cell.kind in ("setassoc", "bounds"):
@@ -574,16 +642,33 @@ def policy_cell_spec(cell: SimCell, config: PaperConfig) -> PolicySpec | None:
     return PolicySpec(tuple(sig), cell.policy)
 
 
+def _untrainable_scheme(scheme_name: str, config: PaperConfig):
+    """Build one of the profiling-free schemes a sweep label may name."""
+    g = config.geometry
+    if scheme_name == "modulo":
+        return ModuloIndexing(g)
+    if scheme_name == "xor":
+        return XorIndexing(g)
+    if scheme_name == "odd_multiplier":
+        return OddMultiplierIndexing(g, config.odd_multiplier)
+    if scheme_name == "prime_modulo":
+        return PrimeModuloIndexing(g)
+    return None
+
+
 def build_policy_scheme(cell: SimCell, config: PaperConfig):
     """Build the (scheme, geometry) a ``policysweep`` cell simulates under."""
-    g = config.geometry
-    scheme_name = cell.label.partition(":")[0]
-    if scheme_name == "modulo":
-        return ModuloIndexing(g), g
-    if scheme_name == "xor":
-        return XorIndexing(g), g
-    if scheme_name == "odd_multiplier":
-        return OddMultiplierIndexing(g, config.odd_multiplier), g
-    if scheme_name == "prime_modulo":
-        return PrimeModuloIndexing(g), g
-    raise ValueError(f"cell ({cell.workload}, {cell.label}) is not a policy cell")
+    scheme = _untrainable_scheme(cell.label.partition(":")[0], config)
+    if scheme is None:
+        raise ValueError(f"cell ({cell.workload}, {cell.label}) is not a policy cell")
+    return scheme, config.geometry
+
+
+def build_aux_scheme(cell: SimCell, config: PaperConfig):
+    """Build the (scheme, combo, depth, geometry) an ``auxsweep`` cell
+    simulates under."""
+    scheme_name, combo, depth = _parse_aux_label(cell.label)
+    scheme = _untrainable_scheme(scheme_name, config)
+    if scheme is None:
+        raise ValueError(f"cell ({cell.workload}, {cell.label}) is not an aux cell")
+    return scheme, combo, depth, config.geometry

@@ -31,7 +31,10 @@ two axes, and executes each family as one unit:
     instead of once per scheduled cell, and each member then runs its
     *unmodified* per-cell :func:`~.cells.execute_cell` path — exact by
     construction, cheaper by task granularity and guaranteed trace-memo
-    locality on the process pool.
+    locality on the process pool.  ``auxsweep`` cells (victim / miss-cache
+    / stream-buffer compositions) ride this axis: their per-cell path is
+    already the exact miss-event replay of :mod:`repro.core.aux.fast`, so
+    the only cross-cell saving left is the shared trace open.
 
 ``single``
     The one-member fallback; detection is a *partition* — every planned

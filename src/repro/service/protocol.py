@@ -122,6 +122,9 @@ CONFIG_OVERRIDES: dict[str, Callable[[Any], Any]] = {
     "cell_timeout": lambda v: None if v is None else float(v),
     "profile_seed_offset": int,
     "odd_multiplier": int,
+    "victim_lines": int,
+    "aux_streams": int,
+    "aux_allocate": str,
 }
 
 
@@ -194,6 +197,11 @@ def config_from_overrides(
             raise ProtocolError(f"config override {key!r}: {exc}") from exc
     if "engine" in updates and updates["engine"] not in ("auto", "sequential"):
         raise ProtocolError("config override 'engine' must be 'auto' or 'sequential'")
+    if "aux_allocate" in updates and updates["aux_allocate"] not in (
+        "miss",
+        "always",
+    ):
+        raise ProtocolError("config override 'aux_allocate' must be 'miss' or 'always'")
     return replace(base, **updates) if updates else base
 
 

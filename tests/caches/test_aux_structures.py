@@ -1,0 +1,240 @@
+"""Unit tests for the aux-structure subsystem (victim/miss-cache/stream).
+
+Covers the structure protocol semantics in isolation, the
+:class:`~repro.core.aux.AugmentedCache` wrapper on direct-mapped *and*
+set-associative bases, the migrated :class:`~repro.core.caches.VictimCache`
+(including bit-identity snapshot hashes against the legacy hand-rolled
+model this class replaced), and the new indexing-scheme pass-through the
+migration unlocked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.address import PAPER_L1_GEOMETRY, CacheGeometry
+from repro.core.aux import (
+    AugmentedCache,
+    MissCache,
+    StreamBuffer,
+    VictimBuffer,
+    make_aux_structures,
+)
+from repro.core.caches import DirectMappedCache, SetAssociativeCache, VictimCache
+from repro.core.caches.base import CacheStats
+from repro.core.indexing import XorIndexing
+from repro.core.simulator import simulate
+from repro.trace import ping_pong_trace, zipf_trace
+
+G = PAPER_L1_GEOMETRY
+SMALL = CacheGeometry(capacity_bytes=2048, line_bytes=16, ways=1, address_bits=16)
+
+
+def stats():
+    return CacheStats(4)
+
+
+class TestVictimBuffer:
+    def test_probe_removes_entry(self):
+        vb, s = VictimBuffer(2), stats()
+        assert vb.on_eviction(10, s) is None
+        assert vb.probe(10, s)
+        assert vb.contents() == set()
+        assert not vb.probe(10, s)
+
+    def test_fifo_overflow(self):
+        vb, s = VictimBuffer(2), stats()
+        assert vb.on_eviction(1, s) is None
+        assert vb.on_eviction(2, s) is None
+        assert vb.on_eviction(3, s) == 1  # oldest out first
+        assert vb.contents() == {2, 3}
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError, match="at least one line"):
+            VictimBuffer(0)
+
+    def test_label_and_flush(self):
+        vb, s = VictimBuffer(4), stats()
+        assert vb.label == "vc4"
+        vb.on_eviction(7, s)
+        vb.flush()
+        assert vb.contents() == set()
+
+
+class TestMissCache:
+    def test_allocates_on_full_miss_only(self):
+        mc, s = MissCache(2), stats()
+        mc.on_eviction(5, s)  # pass-through, no allocation
+        assert mc.contents() == set()
+        mc.on_full_miss(5, s)
+        assert mc.contents() == {5}
+
+    def test_probe_keeps_entry_lru(self):
+        mc, s = MissCache(2), stats()
+        mc.on_full_miss(1, s)
+        mc.on_full_miss(2, s)
+        assert mc.probe(1, s)  # refreshes 1
+        assert mc.contents() == {1, 2}
+        mc.on_full_miss(3, s)  # evicts 2 (LRU), not 1
+        assert mc.contents() == {1, 3}
+
+    def test_eviction_passes_through(self):
+        mc, s = MissCache(1), stats()
+        assert mc.on_eviction(9, s) == 9
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError, match="at least one line"):
+            MissCache(0)
+
+
+class TestStreamBuffer:
+    def test_head_only_hits(self):
+        sb, s = StreamBuffer(4, streams=1), stats()
+        sb.on_full_miss(10, s)  # queue = [11, 12, 13, 14]
+        assert not sb.probe(12, s)  # not the head
+        assert sb.probe(11, s)  # head hit advances + refills
+        assert sb.contents() == {12, 13, 14, 15}
+        assert s.extra["stream_prefetches"] == 4 + 1
+
+    def test_lru_stream_replacement(self):
+        sb, s = StreamBuffer(2, streams=2), stats()
+        sb.on_full_miss(10, s)
+        sb.on_full_miss(20, s)
+        assert sb.probe(21, s)  # stream 20 becomes MRU
+        sb.on_full_miss(30, s)  # replaces stream 10 (LRU)
+        assert not sb.probe(11, s)
+        assert sb.probe(22, s) and sb.probe(31, s)
+
+    def test_allocate_modes(self):
+        s = stats()
+        miss_mode = StreamBuffer(2, streams=1, allocate="miss")
+        miss_mode.on_main_miss(10, s)
+        assert miss_mode.contents() == set()  # "miss" ignores serviced misses
+        miss_mode.on_full_miss(10, s)
+        assert miss_mode.contents() == {11, 12}
+        always = StreamBuffer(2, streams=1, allocate="always")
+        always.on_main_miss(10, s)
+        assert always.contents() == {11, 12}
+
+    def test_rejections(self):
+        with pytest.raises(ValueError, match="depth"):
+            StreamBuffer(0)
+        with pytest.raises(ValueError, match="queue"):
+            StreamBuffer(2, streams=0)
+        with pytest.raises(ValueError, match="allocate"):
+            StreamBuffer(2, allocate="sometimes")
+
+    def test_label_uses_depth(self):
+        assert StreamBuffer(8, streams=2).label == "sb8"
+
+
+class TestMakeAuxStructures:
+    def test_combo_order_is_probe_priority(self):
+        structures = make_aux_structures("vc+sb", 4)
+        assert [st.name for st in structures] == ["vc", "sb"]
+
+    def test_rejects_unknown_combo(self):
+        for bad in ("vc+vc", "zz", "vc+mc", ""):
+            with pytest.raises(ValueError, match="unknown aux combo"):
+                make_aux_structures(bad, 4)
+
+
+class TestAugmentedCache:
+    def test_requires_structures_and_unique_names(self):
+        base = DirectMappedCache(SMALL)
+        with pytest.raises(ValueError, match="at least one aux structure"):
+            AugmentedCache(base, ())
+        with pytest.raises(ValueError, match="duplicate"):
+            AugmentedCache(base, (VictimBuffer(2), VictimBuffer(4)))
+
+    def test_hit_class_attribution(self):
+        cache = AugmentedCache(DirectMappedCache(SMALL), (VictimBuffer(2),))
+        line, span = SMALL.line_bytes, SMALL.num_sets * SMALL.line_bytes
+        assert not cache.access(0).hit  # cold miss
+        assert cache.access(0).hit_class == "direct"
+        cache.access(span)  # conflict: block 0 into the buffer
+        r = cache.access(0)
+        assert r.hit and r.hit_class == "victim" and r.cycles == 2
+        assert cache.stats.extra == {"direct_hits": 1, "victim_hits": 1}
+
+    def test_set_associative_base_composes_sequentially(self):
+        """Any base CacheModel composes; non-DM bases just have no replay
+        fast path."""
+        g2 = CacheGeometry(2048, 16, ways=2, address_bits=16)
+        cache = AugmentedCache(SetAssociativeCache(g2), (VictimBuffer(4),))
+        trace = zipf_trace(8_000, seed=5)
+        aug = simulate(cache, trace)
+        plain = simulate(SetAssociativeCache(g2), trace)
+        assert aug.misses <= plain.misses
+        cache.check_invariants()
+
+    def test_reset_and_flush_cover_both_layers(self):
+        cache = AugmentedCache(DirectMappedCache(SMALL), (MissCache(2),))
+        cache.access(0)
+        cache.access(SMALL.num_sets * SMALL.line_bytes)
+        assert cache.contents()
+        cache.reset_stats()
+        assert cache.stats.accesses == 0 and cache.base.stats.accesses == 0
+        cache.flush()
+        assert cache.contents() == set()
+
+
+class TestVictimCacheMigration:
+    #: sha256 snapshots of the legacy hand-rolled VictimCache's results
+    #: (model, totals, cycles, extras, per-set arrays), captured at the
+    #: commit before the aux-subsystem migration.  The composed class must
+    #: reproduce them bit for bit.
+    LEGACY_HASHES = {
+        ("zipf", 2): "4ed4447e3a3c20b1",
+        ("zipf", 8): "35f92113f8f170d9",
+        ("ping_pong", 2): "19c4b59ecbc40a80",
+        ("ping_pong", 8): "19c4b59ecbc40a80",
+    }
+
+    @staticmethod
+    def result_hash(res) -> str:
+        blob = repr(
+            (
+                res.model,
+                res.accesses,
+                res.hits,
+                res.misses,
+                res.lookup_cycles,
+                sorted(res.extra.items()),
+            )
+        ).encode()
+        blob += res.slot_accesses.tobytes()
+        blob += res.slot_hits.tobytes()
+        blob += res.slot_misses.tobytes()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @pytest.mark.parametrize("trace_name,lines", sorted(LEGACY_HASHES))
+    def test_bit_identical_to_legacy_model(self, trace_name, lines):
+        trace = (
+            zipf_trace(60_000, seed=7)
+            if trace_name == "zipf"
+            else ping_pong_trace(10_000)
+        )
+        res = simulate(VictimCache(G, victim_lines=lines), trace)
+        assert self.result_hash(res) == self.LEGACY_HASHES[(trace_name, lines)]
+
+    def test_accepts_custom_indexing(self):
+        """The migration's point: any registered scheme passes through."""
+        trace = zipf_trace(30_000, seed=7)
+        xor_vc = simulate(VictimCache(G, victim_lines=4, indexing=XorIndexing(G)), trace)
+        mod_vc = simulate(VictimCache(G, victim_lines=4), trace)
+        xor_dm = simulate(DirectMappedCache(G, indexing=XorIndexing(G)), trace)
+        assert xor_vc.misses != mod_vc.misses  # the scheme reached the base
+        assert xor_vc.misses <= xor_dm.misses  # and the buffer still absorbs
+
+    def test_public_surface_preserved(self):
+        cache = VictimCache(G, victim_lines=3)
+        assert cache.name == "victim"
+        assert cache.victim_lines == 3
+        assert cache.fraction_victim_hits == 0.0
+        simulate(cache, ping_pong_trace(2_000))
+        assert 0.0 < cache.fraction_victim_hits <= 1.0
+        with pytest.raises(ValueError, match="direct-mapped"):
+            VictimCache(CacheGeometry(2048, 16, ways=2, address_bits=16))

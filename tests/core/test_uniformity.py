@@ -9,7 +9,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.uniformity import (
+    aux_structure_report,
     distribution_moments,
+    eviction_absorption,
+    eviction_absorption_gini,
     gini_coefficient,
     half_double_buckets,
     kurtosis,
@@ -160,3 +163,77 @@ class TestReport:
             "below_half_pct",
             "above_double_pct",
         }
+
+
+class TestAuxMetrics:
+    class FakeResult:
+        def __init__(self, accesses, misses, extra):
+            self.accesses = accesses
+            self.misses = misses
+            self.extra = extra
+
+    def test_report_from_counters(self):
+        res = self.FakeResult(
+            accesses=1000,
+            misses=100,
+            extra={
+                "direct_hits": 800,
+                "victim_hits": 60,
+                "stream_hits": 40,
+                "stream_prefetches": 200,
+            },
+        )
+        rep = aux_structure_report(res)
+        assert rep.victim_hit_rate == pytest.approx(0.06)
+        assert rep.miss_cache_hit_rate == 0.0
+        assert rep.stream_hit_rate == pytest.approx(0.04)
+        # coverage: 40 of the 140 would-be composed misses were streamed in.
+        assert rep.stream_coverage == pytest.approx(40 / 140)
+        assert rep.stream_accuracy == pytest.approx(40 / 200)
+        # main-array misses = 100 + 60 + 40; the aux layer absorbed 100.
+        assert rep.absorption_rate == pytest.approx(0.5)
+        assert set(rep.as_dict()) == {
+            "victim_hit_rate",
+            "miss_cache_hit_rate",
+            "stream_hit_rate",
+            "stream_coverage",
+            "stream_accuracy",
+            "absorption_rate",
+        }
+
+    def test_report_zero_guards(self):
+        rep = aux_structure_report(self.FakeResult(0, 0, {}))
+        assert all(v == 0.0 for v in rep.as_dict().values())
+
+    def test_report_from_real_simulation(self):
+        from repro.core.address import CacheGeometry
+        from repro.core.aux import simulate_aux
+        from repro.core.indexing import ModuloIndexing
+        from repro.trace import ping_pong_trace
+
+        g = CacheGeometry(2048, 16, ways=1, address_bits=16)
+        res = simulate_aux(
+            ModuloIndexing(g), ping_pong_trace(4_000), g, combo="vc", depth=4
+        )
+        rep = aux_structure_report(res)
+        # Ping-pong between two conflicting lines: the VC absorbs nearly
+        # every conflict miss.
+        assert rep.victim_hit_rate > 0.9
+        assert rep.absorption_rate > 0.99
+        assert rep.stream_hit_rate == rep.stream_coverage == rep.stream_accuracy == 0.0
+
+    def test_absorption_per_set_and_floor(self):
+        base = np.array([10, 5, 0, 3])
+        aug = np.array([2, 5, 1, 0])
+        # Set 2: the aux layer shifted a cold miss there; floored at zero.
+        assert eviction_absorption(base, aug).tolist() == [8, 0, 0, 3]
+        with pytest.raises(ValueError, match="equal shape"):
+            eviction_absorption(base, aug[:2])
+
+    def test_absorption_gini_extremes(self):
+        base = np.array([100, 100, 100, 100])
+        hot = np.array([0, 100, 100, 100])  # all relief on one set
+        even = np.array([50, 50, 50, 50])  # relief spread evenly
+        assert eviction_absorption_gini(base, hot) > 0.7
+        assert eviction_absorption_gini(base, even) == pytest.approx(0.0)
+        assert eviction_absorption_gini(base, base) == 0.0

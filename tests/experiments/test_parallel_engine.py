@@ -369,6 +369,65 @@ class TestCacheKeyAudit:
         }
         assert len(keys) == 6
 
+    def test_legacy_victim_key_unchanged_by_aux_migration(self):
+        """Rehosting VictimCache on the aux subsystem must not orphan any
+        warm store: the legacy Victim8 bounds key — pinned here literally,
+        as computed before the migration — still comes out of cell_key."""
+        from repro.core.address import PAPER_L1_GEOMETRY
+
+        key = cell_key(
+            "bounds",
+            "Victim8",
+            (("victim_lines", 8),),
+            PAPER_L1_GEOMETRY,
+            "f" * 64,
+            None,
+            None,
+            "lru",
+        )
+        assert key == (
+            "3fee143d9440e41ed56ce85d82b95aa67187643b010bd420ca2bdbfc44620099"
+        )
+
+    def test_aux_labels_and_depths_distinguish_keys(self, config):
+        labels = [
+            "modulo:vc4",
+            "modulo:vc8",
+            "modulo:mc4",
+            "modulo:sb4",
+            "modulo:vc+sb4",
+            "xor:vc4",
+        ]
+        keys = {
+            self._key(make_cell("auxsweep", "crc", lab, config), config)
+            for lab in labels
+        }
+        assert len(keys) == len(labels)
+
+    def test_aux_stream_knobs_keyed_only_for_stream_cells(self, config):
+        """aux_streams/aux_allocate change sb outcomes, so sb-containing
+        cells must key them; vc/mc-only cells are unaffected by them and
+        must NOT key them (a knob flip would needlessly cold-miss)."""
+        streams_cfg = replace(config, aux_streams=8, aux_allocate="always")
+        for label in ("modulo:sb4", "modulo:vc+sb4", "modulo:mc+sb4"):
+            base = make_cell("auxsweep", "crc", label, config)
+            other = make_cell("auxsweep", "crc", label, streams_cfg)
+            assert ("aux_streams", 4) in base.params, label
+            assert ("aux_allocate", "miss") in base.params, label
+            assert self._key(base, config) != self._key(other, config), label
+        for label in ("modulo:vc4", "modulo:mc4"):
+            base = make_cell("auxsweep", "crc", label, config)
+            other = make_cell("auxsweep", "crc", label, streams_cfg)
+            assert base.params == other.params == (), label
+            assert self._key(base, config) == self._key(other, config), label
+
+    def test_aux_odd_multiplier_reaches_keys(self, config):
+        base = make_cell("auxsweep", "crc", "odd_multiplier:vc4", config)
+        other = make_cell(
+            "auxsweep", "crc", "odd_multiplier:vc4", replace(config, odd_multiplier=31)
+        )
+        assert self._key(base, config) != self._key(other, config)
+
     def test_policy_seed_in_keys_for_random_cells_only(self, config):
         other = replace(config, policy_seed=7)
         rand_a = make_cell("policysweep", "crc", "modulo:random", config)

@@ -65,6 +65,10 @@ CELL_SHAPES = [
     ("policysweep", "modulo:random"),
     ("policysweep", "xor:mru"),
     ("policysweep", "xor:lfu"),
+    ("auxsweep", "modulo:vc4"),
+    ("auxsweep", "modulo:sb4"),
+    ("auxsweep", "xor:mc2"),
+    ("auxsweep", "odd_multiplier:vc+sb8"),
 ]
 
 WORKLOADS = ["crc", "fft", "sha", "qsort"]
@@ -208,6 +212,42 @@ class TestDetectionShapes:
         (fam,) = detect_families(cells, BASE_CONFIG)
         assert fam.axis == "decode" and fam.signature is None
 
+    def test_aux_cells_join_the_decode_axis(self):
+        """The ext-aux grid shape: baseline + aux compositions + colassoc
+        of one workload share a trace open and nothing more (each aux cell
+        is already its own exact miss-event replay)."""
+        cells = [
+            make_cell("baseline", "crc", "baseline", BASE_CONFIG),
+            make_cell("auxsweep", "crc", "modulo:vc4", BASE_CONFIG),
+            make_cell("auxsweep", "crc", "modulo:mc+sb4", BASE_CONFIG),
+            make_cell("colassoc", "crc", "ColAssoc_Base", BASE_CONFIG),
+        ]
+        (fam,) = detect_families(cells, BASE_CONFIG)
+        assert fam.axis == "decode" and fam.signature is None
+        assert len(fam.members) == 4
+
+    def test_aux_cells_never_mix_workloads(self):
+        cells = [
+            make_cell("auxsweep", w, "modulo:vc4", BASE_CONFIG)
+            for w in ("crc", "fft", "sha")
+        ]
+        fams = detect_families(cells, BASE_CONFIG)
+        assert sorted(f.workload for f in fams) == ["crc", "fft", "sha"]
+        assert all({c.workload for c in f.members} == {f.workload} for f in fams)
+
+    def test_aux_cells_never_join_kernel_families(self):
+        """An aux cell next to a Mattson ladder stays off the assoc pass —
+        its composed hierarchy has no stack-distance shortcut."""
+        cells = [
+            make_cell("assocsweep", "crc", lab, BASE_CONFIG)
+            for lab in ("2way", "4way")
+        ] + [make_cell("auxsweep", "crc", "modulo:vc4", BASE_CONFIG)]
+        fams = detect_families(cells, BASE_CONFIG)
+        axes = sorted(f.axis for f in fams)
+        assert axes == ["assoc", "single"]
+        (aux_fam,) = [f for f in fams if f.axis == "single"]
+        assert aux_fam.members[0].kind == "auxsweep"
+
 
 REFS = 3000
 
@@ -287,6 +327,27 @@ class TestMidBatchFailure:
         assert "(crc, modulo:lru)" in str(exc.value)
         assert "policy kernel exploded" in str(exc.value)
         assert exc.value.__cause__ is not None
+
+    def test_aux_family_failure_names_the_aux_cell(self, config):
+        """A bad auxsweep member of a decode family (label validation is
+        normally caught at make_cell time, so build one directly) surfaces
+        as a CellExecutionError naming that cell, and the good members
+        keep their cache entries."""
+        good = [
+            make_cell("baseline", "crc", "baseline", config),
+            make_cell("auxsweep", "crc", "modulo:vc4", config),
+        ]
+        bad = SimCell(kind="auxsweep", workload="crc", label="modulo:zz4")
+        cache = ResultCache(config.result_cache_path)
+        with pytest.raises(CellExecutionError) as exc:
+            run_cells(good + [bad], config, jobs=1, result_cache=cache)
+        assert "(crc, modulo:zz4)" in str(exc.value)
+        assert exc.value.__cause__ is not None
+        plan = plan_cells(good, config, jobs=1)
+        for cell in good:
+            assert cache.load(plan.keys[cell]) is not None, cell.label
+        _, stats = run_cells(good, config, jobs=1, result_cache=cache)
+        assert (stats.cache_hits, stats.cache_misses) == (2, 0)
 
     def test_policy_family_completes_without_batching_too(self, config):
         """The same grid answered cell by cell under --no-batch: identical

@@ -112,7 +112,7 @@ def test_victim_cache_partition(addrs):
         c.access(a)
     c.check_invariants()
     for slot in range(G.num_sets):
-        b = int(c._blocks[slot])
+        b = int(c.base._blocks[slot])
         if b != EMPTY:
             assert c.indexing.index_of(b << G.offset_bits) == slot
 
